@@ -1,0 +1,44 @@
+// Figure 11: SSD vs HDD, BFS and PR, weak scaling normalized to the
+// 1-machine SSD runtime. Paper: Chaos scales the same on both; absolute
+// runtime is inversely proportional to device bandwidth (HDD ~2x slower).
+#include "bench/bench_common.h"
+
+using namespace chaos;
+using namespace chaos::bench;
+
+int main(int argc, char** argv) {
+  Options opt;
+  opt.AddInt("base-scale", 10, "RMAT scale at m=1");
+  opt.AddInt("seed", 1, "seed");
+  if (!ParseFlags(opt, argc, argv)) {
+    return 1;
+  }
+  const auto base = static_cast<uint32_t>(opt.GetInt("base-scale"));
+  const auto seed = static_cast<uint64_t>(opt.GetInt("seed"));
+
+  std::printf("== Figure 11: SSD vs HDD, weak scaling, normalized to m=1 SSD ==\n");
+  PrintHeader({"algo/device", "m=1", "m=2", "m=4", "m=8", "m=16", "m=32"});
+  for (const std::string name : {"bfs", "pagerank"}) {
+    double base_ssd = 0.0;
+    for (const bool ssd : {true, false}) {
+      PrintCell(name + (ssd ? " SSD" : " HDD"));
+      int step = 0;
+      for (const int m : MachineSweep()) {
+        InputGraph raw = BenchRmat(base + static_cast<uint32_t>(step), false, seed);
+        InputGraph prepared = PrepareInput(name, raw);
+        ClusterConfig cfg = BenchClusterConfig(
+            prepared, m, seed, ssd ? StorageConfig::Ssd() : StorageConfig::Hdd());
+        auto result = RunChaosAlgorithm(name, prepared, cfg);
+        const double seconds = result.metrics.total_seconds();
+        if (m == 1 && ssd) {
+          base_ssd = seconds;
+        }
+        PrintCell(base_ssd > 0 ? seconds / base_ssd : 0.0);
+        ++step;
+      }
+      EndRow();
+    }
+  }
+  std::printf("\npaper: HDD curve ~2x above SSD (bandwidth ratio), same scaling shape\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Figure 12: 40 GigE vs 1 GigE, BFS and PR, weak scaling normalized to the
+// 1-machine runtime. With 1 GigE the network (1/4 of disk bandwidth in the
+// paper's setup) becomes the bottleneck and scaling degrades badly —
+// the experiment behind the "network must be at least as fast as storage"
+// requirement (§9.4).
+#include "bench/bench_common.h"
+
+using namespace chaos;
+using namespace chaos::bench;
+
+int main(int argc, char** argv) {
+  Options opt;
+  opt.AddInt("base-scale", 10, "RMAT scale at m=1");
+  opt.AddInt("seed", 1, "seed");
+  if (!ParseFlags(opt, argc, argv)) {
+    return 1;
+  }
+  const auto base = static_cast<uint32_t>(opt.GetInt("base-scale"));
+  const auto seed = static_cast<uint64_t>(opt.GetInt("seed"));
+
+  std::printf("== Figure 12: 40GigE vs 1GigE, weak scaling, normalized to m=1 ==\n");
+  PrintHeader({"algo/net", "m=1", "m=2", "m=4", "m=8", "m=16", "m=32"});
+  for (const std::string name : {"bfs", "pagerank"}) {
+    for (const bool fast : {true, false}) {
+      PrintCell(name + (fast ? " 40G" : " 1G"));
+      double base_seconds = 0.0;
+      int step = 0;
+      for (const int m : MachineSweep()) {
+        InputGraph raw = BenchRmat(base + static_cast<uint32_t>(step), false, seed);
+        InputGraph prepared = PrepareInput(name, raw);
+        ClusterConfig cfg = BenchClusterConfig(
+            prepared, m, seed, StorageConfig::Ssd(),
+            fast ? NetworkConfig::FortyGigE() : NetworkConfig::OneGigE());
+        auto result = RunChaosAlgorithm(name, prepared, cfg);
+        const double seconds = result.metrics.total_seconds();
+        if (m == 1) {
+          base_seconds = seconds;  // each curve normalized to its own m=1
+        }
+        PrintCell(base_seconds > 0 ? seconds / base_seconds : 0.0);
+        ++step;
+      }
+      EndRow();
+    }
+  }
+  std::printf("\npaper: 1GigE curves blow up to 5-9x while 40GigE stays < 2x\n");
+  return 0;
+}

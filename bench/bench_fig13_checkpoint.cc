@@ -1,0 +1,44 @@
+// Figure 13: checkpointing overhead. Vertex state is checkpointed with the
+// 2-phase protocol at every superstep barrier; the paper measures under 6%
+// runtime overhead on a scale-36 graph (BFS and PR, 32 machines, HDD).
+#include "bench/bench_common.h"
+
+using namespace chaos;
+using namespace chaos::bench;
+
+int main(int argc, char** argv) {
+  Options opt;
+  opt.AddInt("scale", 13, "RMAT scale (paper: 35)");
+  opt.AddInt("machines", 8, "machines (paper: 32)");
+  opt.AddInt("seed", 1, "seed");
+  if (!ParseFlags(opt, argc, argv)) {
+    return 1;
+  }
+  const auto scale = static_cast<uint32_t>(opt.GetInt("scale"));
+  const int machines = static_cast<int>(opt.GetInt("machines"));
+  const auto seed = static_cast<uint64_t>(opt.GetInt("seed"));
+
+  std::printf("== Figure 13: checkpointing overhead (RMAT-%u, m=%d, HDD) ==\n", scale,
+              machines);
+  PrintHeader({"algorithm", "off(s)", "every-step(s)", "overhead"});
+  for (const std::string name : {"pagerank", "bfs"}) {
+    InputGraph raw = BenchRmat(scale, false, seed);
+    InputGraph prepared = PrepareInput(name, raw);
+    ClusterConfig cfg =
+        BenchClusterConfig(prepared, machines, seed, StorageConfig::Hdd());
+
+    auto off = RunChaosAlgorithm(name, prepared, cfg);
+    cfg.checkpoint_interval = 1;
+    auto on = RunChaosAlgorithm(name, prepared, cfg);
+
+    const double off_s = off.metrics.total_seconds();
+    const double on_s = on.metrics.total_seconds();
+    PrintCell(name);
+    PrintCell(off_s);
+    PrintCell(on_s);
+    PrintCell(off_s > 0 ? 100.0 * (on_s - off_s) / off_s : 0.0, "%.1f%%");
+    EndRow();
+  }
+  std::printf("\npaper: overhead under 6%% even with hundreds of TB written\n");
+  return 0;
+}

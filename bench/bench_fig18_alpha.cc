@@ -1,0 +1,63 @@
+// Figure 18: work-stealing bias sweep. alpha scales the steal criterion
+// V + D/(H+1) < alpha * D/H: 0 = no stealing, 1 = Chaos default, infinity =
+// always steal. Runtime normalized to alpha = 1, with the Fig. 17 breakdown
+// per configuration. Paper: alpha = 1 is fastest.
+#include <limits>
+
+#include "bench/bench_common.h"
+
+using namespace chaos;
+using namespace chaos::bench;
+
+int main(int argc, char** argv) {
+  Options opt;
+  opt.AddInt("scale", 12, "RMAT scale (paper: 32)");
+  opt.AddInt("machines", 16, "machines (paper: 32)");
+  opt.AddInt("seed", 1, "seed");
+  if (!ParseFlags(opt, argc, argv)) {
+    return 1;
+  }
+  const auto scale = static_cast<uint32_t>(opt.GetInt("scale"));
+  const int machines = static_cast<int>(opt.GetInt("machines"));
+  const auto seed = static_cast<uint64_t>(opt.GetInt("seed"));
+  const double kInf = std::numeric_limits<double>::infinity();
+
+  std::printf("== Figure 18: stealing bias alpha (RMAT-%u, m=%d), normalized to alpha=1 ==\n",
+              scale, machines);
+  PrintHeader({"algo/alpha", "runtime", "gp,own", "gp,stolen", "copy", "merge-wait",
+               "barrier"});
+  for (const std::string name : {"bfs", "pagerank"}) {
+    // Unpermuted RMAT concentrates load in low partitions: stealing matters.
+    RmatOptions gopt;
+    gopt.scale = scale;
+    gopt.permute_ids = false;
+    gopt.seed = seed;
+    InputGraph prepared = PrepareInput(name, GenerateRmat(gopt));
+    // Baseline first so every row normalizes to the alpha = 1 run.
+    double at_one = 0.0;
+    {
+      ClusterConfig cfg = BenchClusterConfig(prepared, machines, seed);
+      cfg.alpha = 1.0;
+      at_one = RunChaosAlgorithm(name, prepared, cfg).metrics.total_seconds();
+    }
+    for (const double alpha : {0.0, 0.8, 1.0, 1.2, kInf}) {
+      ClusterConfig cfg = BenchClusterConfig(prepared, machines, seed);
+      cfg.alpha = alpha;
+      auto result = RunChaosAlgorithm(name, prepared, cfg);
+      const double seconds = result.metrics.total_seconds();
+      char label[64];
+      std::snprintf(label, sizeof(label), "%s a=%s", name.c_str(),
+                    alpha == kInf ? "inf" : Fixed(alpha, 1).c_str());
+      PrintCell(label);
+      PrintCell(at_one > 0 ? seconds / at_one : seconds, "%.3f");
+      for (const Bucket b : {Bucket::kGpMaster, Bucket::kGpSteal, Bucket::kCopy,
+                             Bucket::kMergeWait, Bucket::kBarrier}) {
+        PrintCell(100.0 * result.metrics.BucketFraction(b), "%.1f%%");
+      }
+      EndRow();
+    }
+  }
+  std::printf("\nnote: runtimes are normalized to each algorithm's alpha=1 run\n");
+  std::printf("paper: alpha=1 is fastest; alpha=0 shows large barrier time (imbalance)\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Figure 7: weak scaling — RMAT scale grows with the machine count
+// (base scale at m=1 up to base+5 at m=32), runtime normalized to the
+// 1-machine runtime. Paper: mean 1.61x at 32x the problem size
+// (best Cond 0.97x, worst MCST 2.29x).
+#include "bench/bench_common.h"
+
+using namespace chaos;
+using namespace chaos::bench;
+
+int main(int argc, char** argv) {
+  Options opt;
+  opt.AddInt("base-scale", 10, "RMAT scale at m=1 (paper: 27)");
+  opt.AddInt("seed", 1, "seed");
+  opt.AddString("algos", "", "comma list (default: all ten)");
+  if (!ParseFlags(opt, argc, argv)) {
+    return 1;
+  }
+  const auto base = static_cast<uint32_t>(opt.GetInt("base-scale"));
+  const auto seed = static_cast<uint64_t>(opt.GetInt("seed"));
+
+  std::vector<std::string> algos;
+  if (opt.GetString("algos").empty()) {
+    algos = AllAlgorithmNames();
+  } else {
+    std::string s = opt.GetString("algos");
+    size_t pos = 0;
+    while (pos != std::string::npos) {
+      const size_t comma = s.find(',', pos);
+      algos.push_back(s.substr(pos, comma - pos));
+      pos = comma == std::string::npos ? comma : comma + 1;
+    }
+  }
+
+  std::printf("== Figure 7: weak scaling RMAT-%u..%u, runtime normalized to m=1 ==\n", base,
+              base + 5);
+  PrintHeader({"algorithm", "m=1", "m=2", "m=4", "m=8", "m=16", "m=32"});
+  RunningStat at32;
+  for (const auto& name : algos) {
+    PrintCell(name);
+    double base_seconds = 0.0;
+    int step = 0;
+    for (const int m : MachineSweep()) {
+      const uint32_t scale = base + static_cast<uint32_t>(step);
+      InputGraph raw = BenchRmat(scale, AlgorithmByName(name).needs_weights, seed);
+      InputGraph prepared = PrepareInput(name, raw);
+      auto result = RunChaosAlgorithm(name, prepared, BenchClusterConfig(prepared, m, seed));
+      const double seconds = result.metrics.total_seconds();
+      if (m == 1) {
+        base_seconds = seconds;
+      }
+      const double normalized = base_seconds > 0 ? seconds / base_seconds : 0.0;
+      PrintCell(normalized);
+      if (m == 32) {
+        at32.Add(normalized);
+      }
+      ++step;
+    }
+    EndRow();
+  }
+  std::printf("\nmean normalized runtime at m=32: %.2fx (paper: 1.61x, range 0.97x-2.29x)\n",
+              at32.mean());
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Figure 8: strong scaling — fixed RMAT graph, m = 1..32, runtime
+// normalized to 1 machine. Paper: ~13x mean speedup at 32 machines on
+// RMAT-27 (Cond 23x, MCST 8x); sub-linear because the graph is small.
+#include "bench/bench_common.h"
+
+using namespace chaos;
+using namespace chaos::bench;
+
+int main(int argc, char** argv) {
+  Options opt;
+  opt.AddInt("scale", 12, "RMAT scale (paper: 27)");
+  opt.AddInt("seed", 1, "seed");
+  if (!ParseFlags(opt, argc, argv)) {
+    return 1;
+  }
+  const auto scale = static_cast<uint32_t>(opt.GetInt("scale"));
+  const auto seed = static_cast<uint64_t>(opt.GetInt("seed"));
+
+  std::printf("== Figure 8: strong scaling RMAT-%u, runtime normalized to m=1 ==\n", scale);
+  PrintHeader({"algorithm", "m=1", "m=2", "m=4", "m=8", "m=16", "m=32", "speedup@32"});
+  RunningStat speedups;
+  for (const auto& info : Algorithms()) {
+    PrintCell(info.name);
+    InputGraph raw = BenchRmat(scale, info.needs_weights, seed);
+    InputGraph prepared = PrepareInput(info.name, raw);
+    double base_seconds = 0.0;
+    double last_norm = 1.0;
+    for (const int m : MachineSweep()) {
+      auto result =
+          RunChaosAlgorithm(info.name, prepared, BenchClusterConfig(prepared, m, seed));
+      const double seconds = result.metrics.total_seconds();
+      if (m == 1) {
+        base_seconds = seconds;
+      }
+      last_norm = base_seconds > 0 ? seconds / base_seconds : 0.0;
+      PrintCell(last_norm);
+    }
+    const double speedup = last_norm > 0 ? 1.0 / last_norm : 0.0;
+    speedups.Add(speedup);
+    PrintCell(speedup, "%.1fx");
+    EndRow();
+  }
+  std::printf("\nmean speedup at m=32: %.1fx (paper: ~13x on RMAT-27)\n", speedups.mean());
+  return 0;
+}

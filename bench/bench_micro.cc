@@ -1,0 +1,122 @@
+// Microbenchmarks (google-benchmark) backing the simulator's CPU cost
+// parameters: per-edge scatter cost, per-edge grid-partitioning cost, event
+// queue and chunk machinery throughput, and generator speed. Run these on a
+// new host to recalibrate CostModel / --grid-ns-per-edge.
+#include <benchmark/benchmark.h>
+
+#include "algorithms/basic.h"
+#include "baselines/grid_partitioner.h"
+#include "core/partition.h"
+#include "graph/generators.h"
+#include "sim/event_queue.h"
+#include "sim/simulator.h"
+#include "storage/chunk.h"
+
+namespace chaos {
+namespace {
+
+InputGraph& BenchGraph() {
+  static InputGraph g = [] {
+    RmatOptions opt;
+    opt.scale = 14;
+    opt.seed = 7;
+    return GenerateRmat(opt);
+  }();
+  return g;
+}
+
+// Per-edge cost of the PageRank scatter path (binning included): the basis
+// for CostModel::ns_per_edge_scatter.
+void BM_ScatterPerEdge(benchmark::State& state) {
+  const InputGraph& g = BenchGraph();
+  auto parts = Partitioning::Compute(g.num_vertices, 4, 16, 1 << 20);
+  PageRankProgram prog(1);
+  PageRankProgram::GlobalState global{1};
+  std::vector<PageRankProgram::VertexState> states(g.num_vertices,
+                                                   PageRankProgram::VertexState{1.0f, 16});
+  std::vector<std::vector<UpdateRecord<float>>> bins(parts.num_partitions());
+  for (auto _ : state) {
+    for (auto& bin : bins) {
+      bin.clear();
+    }
+    auto emit = [&](VertexId dst, const float& value) {
+      bins[parts.PartitionOf(dst)].push_back(UpdateRecord<float>{dst, value});
+    };
+    for (const Edge& e : g.edges) {
+      prog.Scatter(global, e.src, states[e.src], e, emit);
+    }
+    benchmark::DoNotOptimize(bins);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(g.num_edges()));
+}
+BENCHMARK(BM_ScatterPerEdge);
+
+// Per-edge cost of grid partitioning: the basis for --grid-ns-per-edge.
+void BM_GridPartitionPerEdge(benchmark::State& state) {
+  const InputGraph& g = BenchGraph();
+  for (auto _ : state) {
+    auto result = GridPartition(g, 16, 7);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(g.num_edges()));
+}
+BENCHMARK(BM_GridPartitionPerEdge);
+
+void BM_EventQueueThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    EventQueue q;
+    for (int i = 0; i < 10000; ++i) {
+      q.Push((i * 2654435761u) % 100000, [] {});
+    }
+    while (!q.empty()) {
+      benchmark::DoNotOptimize(q.Pop());
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 10000);
+}
+BENCHMARK(BM_EventQueueThroughput);
+
+void BM_CoroutineDelayRoundtrip(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulator sim;
+    sim.Spawn([](Simulator* sim) -> Task<> {
+      for (int i = 0; i < 1000; ++i) {
+        co_await sim->Delay(10);
+      }
+    }(&sim));
+    sim.Run();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 1000);
+}
+BENCHMARK(BM_CoroutineDelayRoundtrip);
+
+void BM_RmatGeneration(benchmark::State& state) {
+  RmatOptions opt;
+  opt.scale = 12;
+  opt.seed = 7;
+  for (auto _ : state) {
+    auto g = GenerateRmat(opt);
+    benchmark::DoNotOptimize(g);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * (16 << 12));
+}
+BENCHMARK(BM_RmatGeneration);
+
+void BM_ChunkRoundTrip(benchmark::State& state) {
+  std::vector<Edge> edges(8192);
+  for (auto _ : state) {
+    auto copy = edges;
+    Chunk c = MakeChunk<Edge>(0, copy.size() * 8, std::move(copy));
+    auto span = ChunkSpan<Edge>(c);
+    benchmark::DoNotOptimize(span);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 8192);
+}
+BENCHMARK(BM_ChunkRoundTrip);
+
+}  // namespace
+}  // namespace chaos
+
+BENCHMARK_MAIN();

@@ -1,0 +1,63 @@
+// Capacity planner: uses the simulator as a what-if tool — given a target
+// graph size and algorithm, sweep cluster sizes and device/network options
+// and report the predicted runtime, answering the paper's sizing questions
+// (how many machines, SSD vs HDD, is my network fast enough — §9.4).
+//
+//   build/examples/capacity_planner [--scale N] [--algo pagerank]
+#include <cstdio>
+
+#include "algorithms/runner.h"
+#include "graph/generators.h"
+#include "util/options.h"
+#include "util/stats.h"
+
+using namespace chaos;
+
+int main(int argc, char** argv) {
+  Options opt;
+  opt.AddInt("scale", 12, "RMAT scale of the target workload");
+  opt.AddString("algo", "pagerank", "algorithm to plan for");
+  if (auto err = opt.Parse(argc - 1, argv + 1); err || opt.help_requested()) {
+    if (err) {
+      std::fprintf(stderr, "error: %s\n", err->c_str());
+    }
+    opt.PrintHelp(argv[0]);
+    return err ? 1 : 0;
+  }
+  const std::string algo = opt.GetString("algo");
+
+  RmatOptions graph_opt;
+  graph_opt.scale = static_cast<uint32_t>(opt.GetInt("scale"));
+  graph_opt.weighted = AlgorithmByName(algo).needs_weights;
+  graph_opt.seed = 3;
+  InputGraph prepared = PrepareInput(algo, GenerateRmat(graph_opt));
+  std::printf("planning %s over %llu edges (%s input)\n\n", algo.c_str(),
+              static_cast<unsigned long long>(prepared.num_edges()),
+              FormatBytes(prepared.input_wire_bytes()).c_str());
+
+  std::printf("%10s %14s %14s %14s %14s\n", "machines", "SSD/40G", "HDD/40G", "SSD/1G",
+              "device-util");
+  for (const int machines : {2, 4, 8, 16, 32}) {
+    std::printf("%10d", machines);
+    double util = 0.0;
+    for (int variant = 0; variant < 3; ++variant) {
+      ClusterConfig cfg;
+      cfg.machines = machines;
+      cfg.memory_budget_bytes =
+          std::max<uint64_t>(prepared.num_vertices * 48 / (4ull * machines) + 1, 4 << 10);
+      cfg.chunk_bytes = 64 << 10;
+      cfg.storage = variant == 1 ? StorageConfig::Hdd() : StorageConfig::Ssd();
+      cfg.net = variant == 2 ? NetworkConfig::OneGigE() : NetworkConfig::FortyGigE();
+      auto result = RunChaosAlgorithm(algo, prepared, cfg);
+      std::printf(" %14s", FormatSeconds(result.metrics.total_seconds()).c_str());
+      if (variant == 0) {
+        util = result.metrics.MeanDeviceUtilization();
+      }
+    }
+    std::printf(" %13.0f%%\n", 100.0 * util);
+  }
+  std::printf("\nreading the table: runtime halves with machine count while devices stay\n"
+              "utilized (SSD/40G); HDD runs ~2x slower; a 1GigE network caps scaling —\n"
+              "the paper's requirement that network bandwidth match storage bandwidth.\n");
+  return 0;
+}

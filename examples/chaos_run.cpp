@@ -1,0 +1,143 @@
+// chaos_run: command-line driver — run any of the ten algorithms over an
+// edge-list file (binary or text) or a generated graph on a configurable
+// simulated cluster. The "release binary" a downstream user would reach
+// for first.
+//
+//   chaos_run --algo pagerank --input graph.txt --machines 16
+//   chaos_run --algo bfs --generate rmat --scale 18 --machines 32 --hdd
+//   chaos_run --algo sssp --generate grid --scale 8 --out distances.txt
+#include <cstdio>
+#include <fstream>
+
+#include "algorithms/runner.h"
+#include "graph/edge_list_io.h"
+#include "graph/generators.h"
+#include "util/logging.h"
+#include "util/options.h"
+#include "util/stats.h"
+
+using namespace chaos;
+
+int main(int argc, char** argv) {
+  Options opt;
+  opt.AddString("algo", "pagerank",
+                "bfs|wcc|mcst|mis|sssp|pagerank|scc|conductance|spmv|bp");
+  opt.AddString("input", "", "edge-list file (binary or text; empty = --generate)");
+  opt.AddString("generate", "rmat", "rmat|web|grid|uniform (when no --input)");
+  opt.AddInt("scale", 14, "generator scale (2^scale vertices)");
+  opt.AddInt("machines", 8, "simulated machines");
+  opt.AddInt("partitions-per-machine", 4, "streaming partitions per machine");
+  opt.AddBool("hdd", false, "use the HDD profile instead of SSD");
+  opt.AddBool("slow-net", false, "use 1GigE instead of 40GigE");
+  opt.AddDouble("alpha", 1.0, "work-stealing bias (0 disables stealing)");
+  opt.AddInt("checkpoint-interval", 0, "checkpoint every N supersteps (0 = off)");
+  opt.AddInt("source", 0, "source vertex (bfs/sssp)");
+  opt.AddInt("iterations", 5, "iterations (pagerank/bp)");
+  opt.AddInt("seed", 1, "seed");
+  opt.AddString("out", "", "write per-vertex results to this file");
+  opt.AddBool("verbose", false, "info-level logging");
+  if (auto err = opt.Parse(argc - 1, argv + 1); err || opt.help_requested()) {
+    if (err) {
+      std::fprintf(stderr, "error: %s\n", err->c_str());
+    }
+    opt.PrintHelp(argv[0]);
+    return err ? 1 : 0;
+  }
+  if (opt.GetBool("verbose")) {
+    SetLogLevel(LogLevel::kInfo);
+  }
+  const std::string algo = opt.GetString("algo");
+  const AlgorithmInfo& info = AlgorithmByName(algo);
+  const auto seed = static_cast<uint64_t>(opt.GetInt("seed"));
+
+  // ---- Input.
+  InputGraph raw;
+  if (!opt.GetString("input").empty()) {
+    std::string error;
+    auto loaded = LoadEdgeListBinary(opt.GetString("input"), &error);
+    if (!loaded.has_value()) {
+      loaded = LoadEdgeListText(opt.GetString("input"), &error);
+    }
+    if (!loaded.has_value()) {
+      std::fprintf(stderr, "cannot load %s: %s\n", opt.GetString("input").c_str(),
+                   error.c_str());
+      return 1;
+    }
+    raw = std::move(*loaded);
+    if (info.needs_weights && !raw.weighted) {
+      std::fprintf(stderr, "note: %s expects weights; using weight 1 per edge\n",
+                   algo.c_str());
+    }
+  } else {
+    const auto scale = static_cast<uint32_t>(opt.GetInt("scale"));
+    const std::string kind = opt.GetString("generate");
+    if (kind == "rmat") {
+      RmatOptions gopt;
+      gopt.scale = scale;
+      gopt.weighted = info.needs_weights;
+      gopt.seed = seed;
+      raw = GenerateRmat(gopt);
+    } else if (kind == "web") {
+      WebGraphOptions gopt;
+      gopt.num_pages = 1ull << scale;
+      gopt.num_hosts = std::max<uint64_t>(gopt.num_pages >> 8, 4);
+      gopt.seed = seed;
+      raw = GenerateWebGraph(gopt);
+    } else if (kind == "grid") {
+      GridGraphOptions gopt;
+      gopt.width = 1u << (scale / 2);
+      gopt.height = 1u << (scale - scale / 2);
+      gopt.seed = seed;
+      raw = GenerateGridGraph(gopt);
+    } else if (kind == "uniform") {
+      raw = GenerateUniformRandom(1ull << scale, 16ull << scale, info.needs_weights, seed);
+    } else {
+      std::fprintf(stderr, "unknown generator '%s'\n", kind.c_str());
+      return 1;
+    }
+  }
+  InputGraph prepared = PrepareInput(algo, raw);
+  std::printf("%s over %llu vertices / %llu edges (%s input)\n", algo.c_str(),
+              static_cast<unsigned long long>(prepared.num_vertices),
+              static_cast<unsigned long long>(prepared.num_edges()),
+              FormatBytes(prepared.input_wire_bytes()).c_str());
+
+  // ---- Cluster.
+  ClusterConfig cfg;
+  cfg.machines = static_cast<int>(opt.GetInt("machines"));
+  const auto ppm = static_cast<uint64_t>(opt.GetInt("partitions-per-machine"));
+  cfg.memory_budget_bytes = std::max<uint64_t>(
+      prepared.num_vertices * 48 / (ppm * static_cast<uint64_t>(cfg.machines)) + 1, 4 << 10);
+  cfg.chunk_bytes = 256 << 10;
+  cfg.storage = opt.GetBool("hdd") ? StorageConfig::Hdd() : StorageConfig::Ssd();
+  cfg.net = opt.GetBool("slow-net") ? NetworkConfig::OneGigE() : NetworkConfig::FortyGigE();
+  cfg.alpha = opt.GetDouble("alpha");
+  cfg.checkpoint_interval = static_cast<uint32_t>(opt.GetInt("checkpoint-interval"));
+  cfg.seed = seed;
+
+  AlgoParams params;
+  params.source = static_cast<VertexId>(opt.GetInt("source"));
+  params.iterations = static_cast<uint32_t>(opt.GetInt("iterations"));
+  auto result = RunChaosAlgorithm(algo, prepared, cfg, params);
+
+  // ---- Report.
+  std::printf("\n%s", result.metrics.Summary().c_str());
+  std::printf("supersteps: %llu\n", static_cast<unsigned long long>(result.supersteps));
+  if (algo == "conductance") {
+    std::printf("conductance: %.6f\n", result.scalar);
+  }
+  if (algo == "mcst") {
+    std::printf("spanning forest: %llu edges, total weight %.2f\n",
+                static_cast<unsigned long long>(result.output_records), result.scalar);
+  }
+  if (!opt.GetString("out").empty()) {
+    std::ofstream out(opt.GetString("out"), std::ios::trunc);
+    for (VertexId v = 0; v < prepared.num_vertices; ++v) {
+      out << v << ' ' << result.values[v] << '\n';
+    }
+    std::printf("wrote %llu values to %s\n",
+                static_cast<unsigned long long>(prepared.num_vertices),
+                opt.GetString("out").c_str());
+  }
+  return 0;
+}

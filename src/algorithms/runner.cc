@@ -1,0 +1,167 @@
+#include "algorithms/runner.h"
+
+#include "algorithms/basic.h"
+#include "algorithms/mcst.h"
+#include "algorithms/mis.h"
+#include "algorithms/scc.h"
+
+namespace chaos {
+namespace {
+
+template <GasProgram P>
+AlgoResult RunChaosWith(P prog, const InputGraph& input, const ClusterConfig& config) {
+  Cluster<P> cluster(config, std::move(prog));
+  RunResult<P> run = cluster.Run(input);
+  AlgoResult result;
+  result.metrics = std::move(run.metrics);
+  result.values = std::move(run.values);
+  result.supersteps = run.supersteps;
+  result.crashed = run.crashed;
+  result.output_records = run.outputs.size();
+  if constexpr (std::is_same_v<P, ConductanceProgram>) {
+    result.scalar = run.final_global.conductance;
+  }
+  if constexpr (std::is_same_v<P, McstProgram>) {
+    double total = 0.0;
+    for (const auto& edge : run.outputs) {
+      total += static_cast<double>(edge.w);
+    }
+    result.scalar = total;
+  }
+  return result;
+}
+
+template <GasProgram P>
+XStreamRunResult RunXStreamWith(P prog, const InputGraph& input, const XStreamConfig& config) {
+  XStreamEngine<P> engine(config, std::move(prog));
+  XStreamResult<P> run = engine.Run(input);
+  XStreamRunResult result;
+  result.values = std::move(run.values);
+  result.supersteps = run.supersteps;
+  result.total_time = run.total_time;
+  result.preprocess_time = run.preprocess_time;
+  result.bytes_moved = run.bytes_read + run.bytes_written;
+  result.output_records = run.outputs.size();
+  if constexpr (std::is_same_v<P, ConductanceProgram>) {
+    result.scalar = run.final_global.conductance;
+  }
+  if constexpr (std::is_same_v<P, McstProgram>) {
+    double total = 0.0;
+    for (const auto& edge : run.outputs) {
+      total += static_cast<double>(edge.w);
+    }
+    result.scalar = total;
+  }
+  return result;
+}
+
+}  // namespace
+
+const std::vector<AlgorithmInfo>& Algorithms() {
+  // Table 1 order: BFS, WCC, MCST, MIS, SSSP on undirected inputs; SCC, PR,
+  // Cond, SpMV, BP on directed inputs (SCC additionally needs reverse
+  // records for its backward phase).
+  static const std::vector<AlgorithmInfo> kAlgorithms = {
+      {"bfs", true, false, false},  {"wcc", true, false, false},
+      {"mcst", true, false, true},  {"mis", true, false, false},
+      {"sssp", true, false, true},  {"pagerank", false, false, false},
+      {"scc", false, true, false},  {"conductance", false, false, false},
+      {"spmv", false, false, false}, {"bp", false, false, false},
+  };
+  return kAlgorithms;
+}
+
+const AlgorithmInfo& AlgorithmByName(const std::string& name) {
+  for (const AlgorithmInfo& info : Algorithms()) {
+    if (info.name == name) {
+      return info;
+    }
+  }
+  CHAOS_CHECK_MSG(false, "unknown algorithm: " + name);
+  return Algorithms().front();
+}
+
+InputGraph PrepareInput(const std::string& name, const InputGraph& raw) {
+  const AlgorithmInfo& info = AlgorithmByName(name);
+  if (info.needs_undirected) {
+    return MakeUndirected(raw);
+  }
+  if (info.needs_bidirected) {
+    return MakeBidirected(raw);
+  }
+  return raw;
+}
+
+AlgoResult RunChaosAlgorithm(const std::string& name, const InputGraph& prepared,
+                             const ClusterConfig& config, const AlgoParams& params) {
+  if (name == "bfs") {
+    return RunChaosWith(BfsProgram(params.source), prepared, config);
+  }
+  if (name == "wcc") {
+    return RunChaosWith(WccProgram{}, prepared, config);
+  }
+  if (name == "mcst") {
+    return RunChaosWith(McstProgram{}, prepared, config);
+  }
+  if (name == "mis") {
+    return RunChaosWith(MisProgram{}, prepared, config);
+  }
+  if (name == "sssp") {
+    return RunChaosWith(SsspProgram(params.source), prepared, config);
+  }
+  if (name == "pagerank") {
+    return RunChaosWith(PageRankProgram(params.iterations, params.damping), prepared, config);
+  }
+  if (name == "scc") {
+    return RunChaosWith(SccProgram{}, prepared, config);
+  }
+  if (name == "conductance") {
+    return RunChaosWith(ConductanceProgram{}, prepared, config);
+  }
+  if (name == "spmv") {
+    return RunChaosWith(SpmvProgram{}, prepared, config);
+  }
+  if (name == "bp") {
+    return RunChaosWith(BpProgram(params.iterations, params.bp_damping), prepared, config);
+  }
+  CHAOS_CHECK_MSG(false, "unknown algorithm: " + name);
+  return {};
+}
+
+XStreamRunResult RunXStreamAlgorithm(const std::string& name, const InputGraph& prepared,
+                                     const XStreamConfig& config, const AlgoParams& params) {
+  if (name == "bfs") {
+    return RunXStreamWith(BfsProgram(params.source), prepared, config);
+  }
+  if (name == "wcc") {
+    return RunXStreamWith(WccProgram{}, prepared, config);
+  }
+  if (name == "mcst") {
+    return RunXStreamWith(McstProgram{}, prepared, config);
+  }
+  if (name == "mis") {
+    return RunXStreamWith(MisProgram{}, prepared, config);
+  }
+  if (name == "sssp") {
+    return RunXStreamWith(SsspProgram(params.source), prepared, config);
+  }
+  if (name == "pagerank") {
+    return RunXStreamWith(PageRankProgram(params.iterations, params.damping), prepared, config);
+  }
+  if (name == "scc") {
+    return RunXStreamWith(SccProgram{}, prepared, config);
+  }
+  if (name == "conductance") {
+    return RunXStreamWith(ConductanceProgram{}, prepared, config);
+  }
+  if (name == "spmv") {
+    return RunXStreamWith(SpmvProgram{}, prepared, config);
+  }
+  if (name == "bp") {
+    return RunXStreamWith(BpProgram(params.iterations, params.bp_damping), prepared, config);
+  }
+  CHAOS_CHECK_MSG(false, "unknown algorithm: " + name);
+  return {};
+}
+
+}  // namespace chaos

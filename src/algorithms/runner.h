@@ -1,0 +1,68 @@
+// Type-erased entry points over the ten GAS benchmark algorithms, used by
+// tests, benches and examples that sweep algorithms by name.
+#ifndef CHAOS_ALGORITHMS_RUNNER_H_
+#define CHAOS_ALGORITHMS_RUNNER_H_
+
+#include <string>
+#include <vector>
+
+#include "baselines/xstream.h"
+#include "core/cluster.h"
+#include "graph/types.h"
+
+namespace chaos {
+
+// Per-algorithm knobs; unused fields are ignored.
+struct AlgoParams {
+  VertexId source = 0;      // bfs, sssp
+  uint32_t iterations = 5;  // pagerank, bp
+  float damping = 0.85f;    // pagerank
+  float bp_damping = 0.5f;  // bp
+};
+
+struct AlgorithmInfo {
+  std::string name;
+  bool needs_undirected = false;  // BFS, WCC, MCST, MIS, SSSP (Table 1)
+  bool needs_bidirected = false;  // SCC (reverse-flagged edges)
+  bool needs_weights = false;     // SSSP, MCST
+};
+
+// The paper's Table 1 set, in its order.
+const std::vector<AlgorithmInfo>& Algorithms();
+const AlgorithmInfo& AlgorithmByName(const std::string& name);
+
+// Applies the required input transformation (undirected / bidirected) for
+// the named algorithm. Weighted inputs keep their weights.
+InputGraph PrepareInput(const std::string& name, const InputGraph& raw);
+
+struct AlgoResult {
+  RunMetrics metrics;
+  std::vector<double> values;  // Extract() per vertex
+  double scalar = 0.0;         // conductance value / MSF total weight
+  uint64_t output_records = 0; // MSF edges emitted
+  uint64_t supersteps = 0;
+  bool crashed = false;
+};
+
+// Runs the named algorithm on a Chaos cluster. `prepared` must already have
+// gone through PrepareInput.
+AlgoResult RunChaosAlgorithm(const std::string& name, const InputGraph& prepared,
+                             const ClusterConfig& config, const AlgoParams& params = {});
+
+struct XStreamRunResult {
+  std::vector<double> values;
+  double scalar = 0.0;
+  uint64_t output_records = 0;
+  uint64_t supersteps = 0;
+  TimeNs total_time = 0;
+  TimeNs preprocess_time = 0;
+  uint64_t bytes_moved = 0;
+};
+
+// Runs the named algorithm on the single-machine X-Stream baseline.
+XStreamRunResult RunXStreamAlgorithm(const std::string& name, const InputGraph& prepared,
+                                     const XStreamConfig& config, const AlgoParams& params = {});
+
+}  // namespace chaos
+
+#endif  // CHAOS_ALGORITHMS_RUNNER_H_

@@ -1,0 +1,47 @@
+// PowerGraph grid (2D constrained) vertex-cut partitioner, the upfront
+// partitioning baseline of Fig. 20.
+//
+// Machines are arranged in an r x c grid. Each vertex hashes to a shard
+// whose constraint set is its grid row plus column; an edge may be placed on
+// any machine in the intersection of its endpoints' constraint sets, and the
+// least-loaded candidate is chosen. This is the in-memory algorithm the
+// paper runs for its comparison (§10.3); the bench charges its cost in
+// simulated time using a calibrated per-edge cost plus the input-scan I/O.
+#ifndef CHAOS_BASELINES_GRID_PARTITIONER_H_
+#define CHAOS_BASELINES_GRID_PARTITIONER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.h"
+#include "sim/time.h"
+
+namespace chaos {
+
+struct GridPartitionResult {
+  int machines = 0;
+  int rows = 0;
+  int cols = 0;
+  std::vector<uint64_t> edges_per_machine;
+  // Average number of machines holding a replica of each vertex (the
+  // vertex-cut replication factor PowerGraph optimizes).
+  double replication_factor = 0.0;
+  // Load imbalance: max/mean edges per machine.
+  double imbalance = 0.0;
+  // Host-side wall time of the partitioning algorithm itself, used to
+  // calibrate the per-edge cost charged in simulated time.
+  double host_seconds = 0.0;
+};
+
+GridPartitionResult GridPartition(const InputGraph& graph, int machines, uint64_t seed);
+
+// Simulated time for grid-partitioning `edges` edges on `machines` machines:
+// one scan of the input from storage at aggregate bandwidth plus the
+// partitioning CPU cost (ns_per_edge, single core, measured by bench_micro;
+// PowerGraph parallelizes across machines and cores).
+TimeNs GridPartitionSimTime(uint64_t edges, uint64_t edge_wire_bytes, int machines,
+                            double device_bandwidth_bps, double ns_per_edge, int cores);
+
+}  // namespace chaos
+
+#endif  // CHAOS_BASELINES_GRID_PARTITIONER_H_

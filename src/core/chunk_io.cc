@@ -1,0 +1,252 @@
+#include "core/chunk_io.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace chaos {
+namespace {
+
+Message StorageRequest(MachineId src, MachineId dst, uint32_t type, uint64_t wire_bytes,
+                       std::any body) {
+  Message m;
+  m.src = src;
+  m.dst = dst;
+  m.service = kStorageService;
+  m.type = type;
+  m.wire_bytes = wire_bytes;
+  m.body = std::move(body);
+  return m;
+}
+
+}  // namespace
+
+ChunkFetcher::ChunkFetcher(EngineContext* ctx, Rng* rng, SetId set, uint64_t epoch, int window,
+                           MachineId local_master_target)
+    : ctx_(ctx),
+      rng_(rng),
+      set_(set),
+      epoch_(epoch),
+      window_(window),
+      forced_target_(local_master_target),
+      cond_(ctx->sim),
+      engine_empty_(static_cast<size_t>(ctx->machines()), 0),
+      in_flight_per_engine_(static_cast<size_t>(ctx->machines()), 0),
+      engines_left_(ctx->machines()) {
+  CHAOS_CHECK_GT(window_, 0);
+  if (ctx_->config->placement == Placement::kLocalMaster) {
+    CHAOS_CHECK(forced_target_ != kNoMachine);
+    // Only the master's engine holds the set: others are empty by design.
+    for (MachineId m = 0; m < ctx_->machines(); ++m) {
+      if (m != forced_target_) {
+        engine_empty_[static_cast<size_t>(m)] = 1;
+        --engines_left_;
+      }
+    }
+  }
+}
+
+void ChunkFetcher::Start() {
+  CHAOS_CHECK(!started_);
+  started_ = true;
+  const bool directory = ctx_->config->placement == Placement::kCentralDirectory &&
+                         set_.kind != SetKind::kVertices;
+  for (int i = 0; i < window_; ++i) {
+    ++workers_active_;
+    ctx_->sim->Spawn(directory ? DirectoryWorker() : Worker());
+  }
+}
+
+MachineId ChunkFetcher::PickTarget() {
+  // Among engines not known-empty, pick uniformly among those with the
+  // fewest in-flight requests from this fetcher.
+  int best = INT32_MAX;
+  int candidates = 0;
+  for (MachineId m = 0; m < ctx_->machines(); ++m) {
+    if (engine_empty_[static_cast<size_t>(m)]) {
+      continue;
+    }
+    const int load = in_flight_per_engine_[static_cast<size_t>(m)];
+    if (load < best) {
+      best = load;
+      candidates = 1;
+    } else if (load == best) {
+      ++candidates;
+    }
+  }
+  if (candidates == 0) {
+    return kNoMachine;
+  }
+  uint64_t pick = rng_->Below(static_cast<uint64_t>(candidates));
+  for (MachineId m = 0; m < ctx_->machines(); ++m) {
+    if (engine_empty_[static_cast<size_t>(m)] ||
+        in_flight_per_engine_[static_cast<size_t>(m)] != best) {
+      continue;
+    }
+    if (pick == 0) {
+      return m;
+    }
+    --pick;
+  }
+  CHAOS_CHECK_MSG(false, "unreachable: candidate disappeared");
+  return kNoMachine;
+}
+
+Task<> ChunkFetcher::Worker() {
+  while (true) {
+    const MachineId target = PickTarget();
+    if (target == kNoMachine) {
+      break;
+    }
+    in_flight_per_engine_[static_cast<size_t>(target)]++;
+    // Named locals around coroutine-call arguments (g++ 12 wrong-code with
+    // braced aggregate temporaries in co_await expressions; see sim/task.h).
+    ReadChunkReq body{set_, epoch_};
+    Message req = StorageRequest(ctx_->machine, target, kReadChunkReq, kControlMsgBytes,
+                                 std::move(body));
+    Message resp = co_await ctx_->bus->Call(std::move(req));
+    in_flight_per_engine_[static_cast<size_t>(target)]--;
+    auto& r = std::any_cast<ReadChunkResp&>(resp.body);
+    if (r.ok) {
+      ++chunks_fetched_;
+      bytes_fetched_ += r.chunk.model_bytes;
+      ready_.push_back(std::move(r.chunk));
+      cond_.NotifyAll();
+    } else if (!engine_empty_[static_cast<size_t>(target)]) {
+      engine_empty_[static_cast<size_t>(target)] = 1;
+      --engines_left_;
+    }
+  }
+  if (--workers_active_ == 0) {
+    cond_.NotifyAll();
+  }
+}
+
+Task<> ChunkFetcher::DirectoryWorker() {
+  DirectoryServer* dir = ctx_->directory;
+  CHAOS_CHECK(dir != nullptr);
+  while (!directory_exhausted_) {
+    Message req;
+    req.src = ctx_->machine;
+    req.dst = dir->home();
+    req.service = kDirectoryService;
+    req.type = kDirNextReq;
+    req.wire_bytes = kControlMsgBytes;
+    req.body = DirNextReq{set_, epoch_};
+    Message dresp = co_await ctx_->bus->Call(std::move(req));
+    const auto& next = std::any_cast<const DirNextResp&>(dresp.body);
+    if (!next.ok) {
+      directory_exhausted_ = true;
+      break;
+    }
+    ReadIndexedReq body{set_, next.index, /*consume=*/true, epoch_};
+    Message read = StorageRequest(ctx_->machine, next.engine, kReadIndexedReq,
+                                  kControlMsgBytes, std::move(body));
+    Message resp = co_await ctx_->bus->Call(std::move(read));
+    auto& r = std::any_cast<ReadChunkResp&>(resp.body);
+    CHAOS_CHECK_MSG(r.ok, "directory pointed at a missing chunk in " + SetIdName(set_));
+    ++chunks_fetched_;
+    bytes_fetched_ += r.chunk.model_bytes;
+    ready_.push_back(std::move(r.chunk));
+    cond_.NotifyAll();
+  }
+  if (--workers_active_ == 0) {
+    cond_.NotifyAll();
+  }
+}
+
+Task<std::optional<Chunk>> ChunkFetcher::Next() {
+  CHAOS_CHECK(started_);
+  while (true) {
+    if (!ready_.empty()) {
+      Chunk c = std::move(ready_.front());
+      ready_.pop_front();
+      co_return c;
+    }
+    if (workers_active_ == 0) {
+      co_return std::nullopt;
+    }
+    co_await cond_.Wait();
+  }
+}
+
+ChunkWriter::ChunkWriter(EngineContext* ctx, Rng* rng, int window)
+    : ctx_(ctx), rng_(rng), window_(ctx->sim, window), group_(ctx->sim) {}
+
+Task<> ChunkWriter::WriteToEngine(SetId set, Chunk chunk, MachineId target) {
+  const uint64_t bytes = chunk.model_bytes;
+  WriteChunkReq body{set, std::move(chunk)};
+  Message req = StorageRequest(ctx_->machine, target, kWriteChunkReq, bytes + kControlMsgBytes,
+                               std::move(body));
+  Message ack = co_await ctx_->bus->Call(std::move(req));
+  CHAOS_CHECK_EQ(ack.type, static_cast<uint32_t>(kWriteAck));
+  ++chunks_written_;
+  bytes_written_ += bytes;
+  window_.Release();
+}
+
+Task<> ChunkWriter::Write(SetId set, Chunk chunk, MachineId home_or_master) {
+  co_await window_.Acquire();
+  MachineId target = kNoMachine;
+  if (IsIndexedKind(set.kind)) {
+    // Vertex/checkpoint chunks live at deterministic hashed homes (§6.4).
+    target = home_or_master;
+    group_.Spawn(WriteToEngine(set, std::move(chunk), target));
+    co_return;
+  }
+  switch (ctx_->config->placement) {
+    case Placement::kRandom:
+      target = static_cast<MachineId>(rng_->Below(static_cast<uint64_t>(ctx_->machines())));
+      break;
+    case Placement::kLocalMaster:
+      target = home_or_master;
+      break;
+    case Placement::kCentralDirectory: {
+      Message req;
+      req.src = ctx_->machine;
+      req.dst = ctx_->directory->home();
+      req.service = kDirectoryService;
+      req.type = kDirAllocReq;
+      req.wire_bytes = kControlMsgBytes;
+      req.body = DirAllocReq{set};
+      Message resp = co_await ctx_->bus->Call(std::move(req));
+      const auto& alloc = std::any_cast<const DirAllocResp&>(resp.body);
+      target = alloc.engine;
+      chunk.index = alloc.index;  // directory-assigned, unique within the set
+      break;
+    }
+  }
+  CHAOS_CHECK(target != kNoMachine);
+  group_.Spawn(WriteToEngine(set, std::move(chunk), target));
+}
+
+Task<> ChunkWriter::Drain() { co_await group_.Join(); }
+
+Task<> DeleteSetEverywhere(EngineContext* ctx, SetId set) {
+  if (ctx->directory != nullptr) {
+    // Invalidate the central directory's chunk locations first so no reader
+    // is pointed at a deleted chunk.
+    DirForgetReq body{set};
+    Message req;
+    req.src = ctx->machine;
+    req.dst = ctx->directory->home();
+    req.service = kDirectoryService;
+    req.type = kDirForgetReq;
+    req.wire_bytes = kControlMsgBytes;
+    req.body = std::move(body);
+    Message ack = co_await ctx->bus->Call(std::move(req));
+    CHAOS_CHECK_EQ(ack.type, static_cast<uint32_t>(kDirForgetResp));
+  }
+  TaskGroup group(ctx->sim);
+  for (MachineId m = 0; m < ctx->machines(); ++m) {
+    group.Spawn([](EngineContext* ctx, SetId set, MachineId m) -> Task<> {
+      DeleteSetReq body{set};
+      Message req =
+          StorageRequest(ctx->machine, m, kDeleteSetReq, kControlMsgBytes, std::move(body));
+      Message ack = co_await ctx->bus->Call(std::move(req));
+      CHAOS_CHECK_EQ(ack.type, static_cast<uint32_t>(kDeleteAck));
+    }(ctx, set, m));
+  }
+  co_await group.Join();
+}
+
+}  // namespace chaos

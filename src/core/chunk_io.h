@@ -1,0 +1,125 @@
+// Batched chunk I/O between a computation engine and the storage
+// sub-system: the fetch pipeline implementing the paper's batching (§6.5)
+// and the windowed chunk writer.
+#ifndef CHAOS_CORE_CHUNK_IO_H_
+#define CHAOS_CORE_CHUNK_IO_H_
+
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "core/config.h"
+#include "net/network.h"
+#include "sim/sync.h"
+#include "storage/chunk.h"
+#include "storage/directory.h"
+#include "storage/storage_engine.h"
+#include "util/rng.h"
+
+namespace chaos {
+
+// Graph facts an engine may know without holding the graph in memory.
+struct GraphMeta {
+  uint64_t num_vertices = 0;
+  bool weighted = false;
+  uint64_t edge_wire_bytes = 8;
+  uint64_t vertex_id_wire_bytes = 4;
+};
+
+// Everything a computation engine needs to talk to the rest of the cluster.
+// Storage engine pointers are used for *local* queries only (the D estimate,
+// §5.4) — all data moves through the message bus.
+struct EngineContext {
+  Simulator* sim = nullptr;
+  Network* net = nullptr;
+  MessageBus* bus = nullptr;
+  std::vector<StorageEngine*> storage;
+  DirectoryServer* directory = nullptr;  // non-null in kCentralDirectory mode
+  const ClusterConfig* config = nullptr;
+  MachineId machine = 0;
+
+  int machines() const { return config->machines; }
+  StorageEngine* local_storage() const { return storage[static_cast<size_t>(machine)]; }
+};
+
+// Fetches all chunks of one (set, epoch), keeping `window` requests
+// outstanding across distinct uniformly-chosen storage engines that have not
+// yet reported the set empty. Exhaustion is detected when every engine has
+// answered empty (§6.3). In kLocalMaster mode only the owning engine is
+// queried; in kCentralDirectory mode targets come from the directory.
+class ChunkFetcher {
+ public:
+  ChunkFetcher(EngineContext* ctx, Rng* rng, SetId set, uint64_t epoch, int window,
+               MachineId local_master_target = kNoMachine);
+
+  // Must be called once; spawns the fetch workers.
+  void Start();
+
+  // Next chunk, or nullopt when the set is exhausted for this epoch.
+  Task<std::optional<Chunk>> Next();
+
+  uint64_t chunks_fetched() const { return chunks_fetched_; }
+  uint64_t bytes_fetched() const { return bytes_fetched_; }
+
+ private:
+  Task<> Worker();
+  Task<> DirectoryWorker();
+  // Chooses a target engine: uniform among engines not known-empty, biased
+  // to those with the fewest of our in-flight requests (approximates the
+  // k-distinct-engines window of the utilization analysis, §6.5).
+  MachineId PickTarget();
+
+  EngineContext* ctx_;
+  Rng* rng_;
+  SetId set_;
+  uint64_t epoch_;
+  int window_;
+  MachineId forced_target_;
+
+  CondEvent cond_;
+  std::deque<Chunk> ready_;
+  std::vector<uint8_t> engine_empty_;
+  std::vector<int> in_flight_per_engine_;
+  int engines_left_ = 0;
+  int workers_active_ = 0;
+  bool directory_exhausted_ = false;
+  bool started_ = false;
+  uint64_t chunks_fetched_ = 0;
+  uint64_t bytes_fetched_ = 0;
+};
+
+// Writes chunks with bounded in-flight window; placement per config. Write
+// completions are collected by Drain(), which must be awaited before the
+// phase barrier (updates must be durable before gather starts).
+class ChunkWriter {
+ public:
+  ChunkWriter(EngineContext* ctx, Rng* rng, int window);
+
+  // Acquires a window slot, then transfers in the background. Sequential
+  // sets are placed per the configured policy; indexed sets (vertex and
+  // checkpoint chunks) always go to `home_or_master`, their hashed home.
+  Task<> Write(SetId set, Chunk chunk, MachineId home_or_master);
+
+  // Waits until every issued write has been acknowledged.
+  Task<> Drain();
+
+  uint64_t chunks_written() const { return chunks_written_; }
+  uint64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  Task<> WriteToEngine(SetId set, Chunk chunk, MachineId target);
+
+  EngineContext* ctx_;
+  Rng* rng_;
+  Semaphore window_;
+  TaskGroup group_;
+  uint64_t chunks_written_ = 0;
+  uint64_t bytes_written_ = 0;
+};
+
+// Broadcast helpers used by masters (update-set deletion, §6.1).
+Task<> DeleteSetEverywhere(EngineContext* ctx, SetId set);
+
+}  // namespace chaos
+
+#endif  // CHAOS_CORE_CHUNK_IO_H_

@@ -1,0 +1,294 @@
+// Cluster driver: assembles the simulated rack (network, storage engines,
+// optional directory, computation engines), ingests the input edge list,
+// runs the computation to completion and extracts results + metrics.
+#ifndef CHAOS_CORE_CLUSTER_H_
+#define CHAOS_CORE_CLUSTER_H_
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/compute_engine.h"
+#include "graph/types.h"
+
+namespace chaos {
+
+template <GasProgram P>
+struct RunResult {
+  RunMetrics metrics;
+  typename P::GlobalState final_global{};
+  std::vector<typename P::VertexState> states;  // final vertex states, by id
+  std::vector<double> values;                   // prog.Extract() per vertex
+  std::vector<typename P::OutputRecord> outputs;
+  bool crashed = false;
+  uint64_t supersteps = 0;
+  // Recovery bookkeeping (committed checkpoint, §6.6).
+  bool has_checkpoint = false;
+  typename P::GlobalState checkpoint_global{};
+  uint64_t checkpoint_superstep = 0;
+  SetKind checkpoint_side = SetKind::kCheckpointA;
+};
+
+template <GasProgram P>
+class Cluster {
+ public:
+  using VState = typename P::VertexState;
+  using A = typename P::Accumulator;
+  using G = typename P::GlobalState;
+
+  Cluster(ClusterConfig config, P prog) : config_(std::move(config)), prog_(std::move(prog)) {
+    CHAOS_CHECK_GT(config_.machines, 0);
+    net_ = std::make_unique<Network>(&sim_, config_.machines, config_.net);
+    bus_ = std::make_unique<MessageBus>(&sim_, net_.get());
+    for (MachineId m = 0; m < config_.machines; ++m) {
+      storage_.push_back(std::make_unique<StorageEngine>(&sim_, bus_.get(), m, config_.storage));
+    }
+    if (config_.placement == Placement::kCentralDirectory) {
+      directory_ = std::make_unique<DirectoryServer>(&sim_, bus_.get(), /*home=*/0,
+                                                     config_.machines, config_.seed);
+    }
+  }
+
+  // Runs from an input edge list (includes pre-processing, as all paper
+  // results do).
+  RunResult<P> Run(const InputGraph& input) {
+    CHAOS_CHECK(!config_.resume);
+    GraphMeta meta;
+    meta.num_vertices = input.num_vertices;
+    meta.weighted = input.weighted;
+    meta.edge_wire_bytes = input.edge_wire_bytes();
+    meta.vertex_id_wire_bytes = input.vertex_id_wire_bytes();
+    IngestInput(input);
+    return Execute(meta, prog_.InitGlobal(input.num_vertices));
+  }
+
+  // Resumes from previously imported storage state (edges + vertex sets).
+  RunResult<P> Resume(const GraphMeta& meta, const G& global) {
+    CHAOS_CHECK(config_.resume);
+    return Execute(meta, global);
+  }
+
+  // Host-side storage access (setup, inspection, checkpoint export/import).
+  StorageEngine* storage(MachineId m) { return storage_[static_cast<size_t>(m)].get(); }
+  const Partitioning& partitioning() const {
+    CHAOS_CHECK(parts_ != nullptr);
+    return *parts_;
+  }
+  const ClusterConfig& config() const { return config_; }
+
+  // Computes the partitioning for `n` vertices under this configuration
+  // (needed to import sets before Resume).
+  const Partitioning& PreparePartitioning(uint64_t n) {
+    parts_ = std::make_unique<Partitioning>(
+        Partitioning::Compute(n, config_.machines, sizeof(VState) + sizeof(A),
+                              config_.memory_budget_bytes));
+    return *parts_;
+  }
+
+  // Copies every chunk of `kind` sets (all partitions) from `from` into this
+  // cluster's engines at the same machine positions, relabeling to `as`.
+  // Machine counts must match. Used by crash-recovery flows.
+  template <GasProgram Q>
+  void ImportSets(Cluster<Q>& from, SetKind kind, SetKind as) {
+    CHAOS_CHECK_EQ(from.config().machines, config_.machines);
+    for (MachineId m = 0; m < config_.machines; ++m) {
+      StorageEngine* src = from.storage(m);
+      for (const SetId& id : src->HostListSets()) {
+        if (id.kind != kind) {
+          continue;
+        }
+        const auto* chunks = src->HostGetSet(id);
+        for (const Chunk& c : *chunks) {
+          storage_[static_cast<size_t>(m)]->HostAddChunk(SetId{id.partition, as},
+                                                         src->HostMaterialize(id, c));
+        }
+      }
+    }
+  }
+
+ private:
+  void IngestInput(const InputGraph& input) {
+    parts_ = std::make_unique<Partitioning>(
+        Partitioning::Compute(input.num_vertices, config_.machines,
+                              sizeof(VState) + sizeof(A), config_.memory_budget_bytes));
+    // The unsorted edge list is randomly distributed over all storage
+    // devices before the (timed) run starts (§8).
+    Rng rng(HashCombine(config_.seed, 0x1297u));
+    const uint64_t per_chunk =
+        std::max<uint64_t>(1, config_.chunk_bytes / input.edge_wire_bytes());
+    const SetId input_set{0, SetKind::kInput};
+    uint32_t index = 0;
+    for (size_t start = 0; start < input.edges.size(); start += per_chunk) {
+      const size_t n = std::min<uint64_t>(per_chunk, input.edges.size() - start);
+      std::vector<Edge> slice(input.edges.begin() + static_cast<int64_t>(start),
+                              input.edges.begin() + static_cast<int64_t>(start + n));
+      const uint64_t wire = n * input.edge_wire_bytes();
+      const auto target =
+          static_cast<MachineId>(rng.Below(static_cast<uint64_t>(config_.machines)));
+      Chunk chunk = MakeChunk<Edge>(index, wire, std::move(slice));
+      if (directory_ != nullptr) {
+        directory_->HostRecord(input_set, index, target);
+      }
+      storage_[static_cast<size_t>(target)]->HostAddChunk(input_set, std::move(chunk));
+      ++index;
+    }
+  }
+
+  RunResult<P> Execute(const GraphMeta& meta, const G& initial_global) {
+    CHAOS_CHECK(parts_ != nullptr);
+    machine_metrics_.assign(static_cast<size_t>(config_.machines), MachineMetrics{});
+    for (auto& engine : storage_) {
+      engine->Start();
+    }
+    if (directory_ != nullptr) {
+      directory_->Start();
+    }
+    engines_.clear();
+    for (MachineId m = 0; m < config_.machines; ++m) {
+      EngineContext ctx;
+      ctx.sim = &sim_;
+      ctx.net = net_.get();
+      ctx.bus = bus_.get();
+      for (auto& s : storage_) {
+        ctx.storage.push_back(s.get());
+      }
+      ctx.directory = directory_.get();
+      ctx.config = &config_;
+      ctx.machine = m;
+      engines_.push_back(std::make_unique<ComputeEngine<P>>(
+          std::move(ctx), &prog_, meta, parts_.get(),
+          &machine_metrics_[static_cast<size_t>(m)], initial_global));
+    }
+    for (auto& engine : engines_) {
+      engine->Start();
+    }
+    sim_.Spawn(Supervise());
+    sim_.Run();
+    CHAOS_CHECK_MSG(sim_.live_tasks() == 0, "protocol deadlock: tasks still pending");
+
+    RunResult<P> result;
+    result.crashed = engines_[0]->crashed();
+    result.supersteps = engines_[0]->supersteps_run() + (result.crashed ? 1 : 0);
+    result.final_global = engines_[0]->final_global();
+    result.metrics.total_time = finish_time_;
+    result.metrics.preprocess_time = engines_[0]->preprocess_end_time();
+    result.metrics.supersteps = result.supersteps;
+    result.metrics.machines = machine_metrics_;
+    result.metrics.crashed = result.crashed;
+    for (auto& s : storage_) {
+      DeviceMetrics d;
+      d.bytes_read = s->bytes_read();
+      d.bytes_written = s->bytes_written();
+      d.busy = s->device().total_busy();
+      d.chunks_served = s->chunks_served();
+      result.metrics.devices.push_back(d);
+    }
+    result.metrics.network_bytes = net_->total_bytes();
+    result.metrics.incast_events = net_->incast_events();
+    result.metrics.messages = bus_->messages_delivered();
+    for (auto& engine : engines_) {
+      const auto& out = engine->outputs();
+      result.outputs.insert(result.outputs.end(), out.begin(), out.end());
+      if (engine->has_checkpoint()) {
+        result.has_checkpoint = true;
+        result.checkpoint_global = engine->checkpointed_global();
+        result.checkpoint_superstep = engine->checkpointed_superstep();
+        result.checkpoint_side = engine->committed_checkpoint_side();
+      }
+    }
+    ExtractStates(meta.num_vertices, &result);
+    return result;
+  }
+
+  // The supervisor waits for all computation engines to finish, then shuts
+  // down the storage engines and the directory so the simulation drains.
+  Task<> Supervise() {
+    while (true) {
+      bool all_done = true;
+      for (const auto& engine : engines_) {
+        if (!engine->finished() && !engine->crashed()) {
+          all_done = false;
+          break;
+        }
+      }
+      if (all_done) {
+        break;
+      }
+      // Fine-grained poll: runtime quantization must stay well below the
+      // shortest miniaturized runs (tens of milliseconds).
+      co_await sim_.Delay(20 * kNsPerUs);
+    }
+    finish_time_ = sim_.now();
+    for (MachineId m = 0; m < config_.machines; ++m) {
+      Message stop;
+      stop.src = 0;
+      stop.dst = m;
+      stop.service = kStorageService;
+      stop.type = kStorageShutdown;
+      stop.wire_bytes = kControlMsgBytes;
+      bus_->PostSend(std::move(stop));
+    }
+    if (directory_ != nullptr) {
+      Message stop;
+      stop.src = 0;
+      stop.dst = directory_->home();
+      stop.service = kDirectoryService;
+      stop.type = kDirShutdown;
+      stop.wire_bytes = kControlMsgBytes;
+      bus_->PostSend(std::move(stop));
+    }
+  }
+
+  void ExtractStates(uint64_t num_vertices, RunResult<P>* result) {
+    result->states.assign(num_vertices, VState{});
+    const uint64_t per_chunk =
+        std::max<uint64_t>(1, config_.chunk_bytes / sizeof(VState));
+    for (PartitionId p = 0; p < parts_->num_partitions(); ++p) {
+      const VertexId base = parts_->Base(p);
+      const uint64_t count = parts_->Count(p);
+      const auto nchunks = static_cast<uint32_t>((count + per_chunk - 1) / per_chunk);
+      for (uint32_t idx = 0; idx < nchunks; ++idx) {
+        const MachineId home = VertexChunkHome(p, idx, config_.machines);
+        const auto* chunks =
+            storage_[static_cast<size_t>(home)]->HostGetSet(SetId{p, SetKind::kVertices});
+        CHAOS_CHECK_MSG(chunks != nullptr, "missing vertex set for partition");
+        const Chunk* found = nullptr;
+        for (const Chunk& c : *chunks) {
+          if (c.index == idx) {
+            found = &c;
+            break;
+          }
+        }
+        CHAOS_CHECK_MSG(found != nullptr, "missing vertex chunk at extraction");
+        const Chunk loaded =
+            storage_[static_cast<size_t>(home)]->HostMaterialize(SetId{p, SetKind::kVertices},
+                                                                 *found);
+        auto span = ChunkSpan<VState>(loaded);
+        const uint64_t start = base + static_cast<uint64_t>(idx) * per_chunk;
+        for (size_t i = 0; i < span.size(); ++i) {
+          result->states[start + i] = span[i];
+        }
+      }
+    }
+    result->values.reserve(num_vertices);
+    for (const VState& s : result->states) {
+      result->values.push_back(prog_.Extract(s));
+    }
+  }
+
+  ClusterConfig config_;
+  P prog_;
+  Simulator sim_;
+  std::unique_ptr<Network> net_;
+  std::unique_ptr<MessageBus> bus_;
+  std::vector<std::unique_ptr<StorageEngine>> storage_;
+  std::unique_ptr<DirectoryServer> directory_;
+  std::unique_ptr<Partitioning> parts_;
+  std::vector<std::unique_ptr<ComputeEngine<P>>> engines_;
+  std::vector<MachineMetrics> machine_metrics_;
+  TimeNs finish_time_ = 0;
+};
+
+}  // namespace chaos
+
+#endif  // CHAOS_CORE_CLUSTER_H_

@@ -1,0 +1,110 @@
+// Cluster-level configuration for a Chaos run.
+#ifndef CHAOS_CORE_CONFIG_H_
+#define CHAOS_CORE_CONFIG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "net/network.h"
+#include "sim/time.h"
+#include "storage/storage_engine.h"
+#include "util/common.h"
+
+namespace chaos {
+
+// CPU cost model, calibrated by bench_micro on the host machine. Costs are
+// per item on one core; the engine divides by the configured core count
+// (the paper's machines have 16 cores, §8).
+struct CostModel {
+  double ns_per_edge_scatter = 6.0;
+  double ns_per_update_gather = 6.0;
+  double ns_per_vertex_apply = 4.0;
+  double ns_per_vertex_merge = 2.0;
+  // Per-message CPU cost (0MQ handling, §7); paid per chunk exchanged.
+  double ns_per_message = 4000.0;
+  int cores = 16;
+
+  TimeNs ItemsTime(uint64_t items, double ns_per_item) const {
+    const double total = static_cast<double>(items) * ns_per_item / cores;
+    return static_cast<TimeNs>(std::ceil(total));
+  }
+  TimeNs MessageTime() const { return ItemsTime(1, ns_per_message); }
+};
+
+// How chunk placement targets are chosen (paper default: uniform random).
+enum class Placement {
+  kRandom,            // Chaos: uniformly random engine per chunk (§6.2)
+  kLocalMaster,       // Giraph-like baseline: partition data on its master
+  kCentralDirectory,  // Fig. 15 baseline: a directory server picks targets
+};
+
+struct ClusterConfig {
+  int machines = 4;
+
+  // Memory available per machine for one partition's vertex state plus
+  // accumulators; determines the number of streaming partitions (§3).
+  uint64_t memory_budget_bytes = 8ull << 20;
+
+  // Chunk size. The paper uses 4 MB; scaled-down runs use smaller chunks so
+  // that partition chunk counts (the work-stealing granularity) match the
+  // paper's regime.
+  uint64_t chunk_bytes = 256 << 10;
+
+  // Batching (§6.5): each engine keeps floor(phi * batch_k) chunk requests
+  // outstanding. phi = 1 + Rnetwork/Rstorage; the paper measures phi ~= 2 on
+  // its SSD/40GigE testbed and uses k = 5 (phi*k = 10, Fig. 16).
+  int batch_k = 5;
+  double phi = 2.0;
+
+  // Work-stealing bias alpha (§10.2): master accepts a steal proposal iff
+  // V + D/(H+1) < alpha * D/H. 0 disables stealing; infinity always steals.
+  double alpha = 1.0;
+
+  Placement placement = Placement::kRandom;
+
+  // Checkpoint every N supersteps (0 = off), 2-phase protocol (§6.6).
+  uint32_t checkpoint_interval = 0;
+
+  // Simulated crash: stop all compute engines after the gather barrier of
+  // this superstep (-1 = never). Storage contents survive for recovery.
+  int64_t crash_after_superstep = -1;
+
+  // Resume a crashed run: skip pre-processing; vertex and edge sets must
+  // already be present in storage (imported from a checkpoint).
+  bool resume = false;
+  uint64_t resume_superstep = 0;
+
+  // Safety bound on supersteps.
+  uint64_t max_supersteps = 100000;
+
+  NetworkConfig net = NetworkConfig::FortyGigE();
+  StorageConfig storage = StorageConfig::Ssd();
+  CostModel cost;
+
+  uint64_t seed = 1;
+
+  int fetch_window() const {
+    const int w = static_cast<int>(std::floor(phi * batch_k));
+    return w < 1 ? 1 : w;
+  }
+  bool stealing_enabled() const { return alpha > 0.0; }
+};
+
+// Theoretical storage utilization from the paper's batching analysis:
+// rho(m, k) = 1 - (1 - k/m)^m   (Eq. 4); for k >= m utilization is 1.
+inline double TheoreticalUtilization(int m, int k) {
+  CHAOS_CHECK_GT(m, 0);
+  CHAOS_CHECK_GT(k, 0);
+  if (k >= m) {
+    return 1.0;
+  }
+  return 1.0 - std::pow(1.0 - static_cast<double>(k) / m, m);
+}
+
+// Limit of Eq. 4 as m -> infinity: 1 - e^-k (Eq. 5).
+inline double UtilizationLowerBound(int k) { return 1.0 - std::exp(-static_cast<double>(k)); }
+
+}  // namespace chaos
+
+#endif  // CHAOS_CORE_CONFIG_H_

@@ -1,0 +1,116 @@
+#include "core/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/stats.h"
+
+namespace chaos {
+
+const char* BucketName(Bucket b) {
+  switch (b) {
+    case Bucket::kGpMaster:
+      return "gp,master==me";
+    case Bucket::kGpSteal:
+      return "gp,master!=me";
+    case Bucket::kCopy:
+      return "copy";
+    case Bucket::kMerge:
+      return "merge";
+    case Bucket::kMergeWait:
+      return "merge wait";
+    case Bucket::kBarrier:
+      return "barrier";
+    case Bucket::kPreprocess:
+      return "preprocess";
+    case Bucket::kCheckpoint:
+      return "checkpoint";
+    case Bucket::kNumBuckets:
+      break;
+  }
+  return "?";
+}
+
+TimeNs MachineMetrics::TotalTracked() const {
+  TimeNs total = 0;
+  for (const TimeNs t : buckets) {
+    total += t;
+  }
+  return total;
+}
+
+uint64_t RunMetrics::StorageBytesMoved() const {
+  uint64_t total = 0;
+  for (const DeviceMetrics& d : devices) {
+    total += d.bytes_read + d.bytes_written;
+  }
+  return total;
+}
+
+double RunMetrics::AggregateStorageBandwidth() const {
+  if (total_time <= 0) {
+    return 0.0;
+  }
+  return static_cast<double>(StorageBytesMoved()) / ToSeconds(total_time);
+}
+
+double RunMetrics::MeanDeviceUtilization() const {
+  if (devices.empty() || total_time <= 0) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (const DeviceMetrics& d : devices) {
+    sum += static_cast<double>(d.busy) / static_cast<double>(total_time);
+  }
+  return sum / static_cast<double>(devices.size());
+}
+
+TimeNs RunMetrics::MaxBucket(Bucket b) const {
+  TimeNs best = 0;
+  for (const MachineMetrics& m : machines) {
+    best = std::max(best, m.bucket(b));
+  }
+  return best;
+}
+
+TimeNs RunMetrics::SumBucket(Bucket b) const {
+  TimeNs total = 0;
+  for (const MachineMetrics& m : machines) {
+    total += m.bucket(b);
+  }
+  return total;
+}
+
+double RunMetrics::BucketFraction(Bucket b) const {
+  TimeNs tracked = 0;
+  for (const MachineMetrics& m : machines) {
+    tracked += m.TotalTracked();
+  }
+  if (tracked <= 0) {
+    return 0.0;
+  }
+  return static_cast<double>(SumBucket(b)) / static_cast<double>(tracked);
+}
+
+std::string RunMetrics::Summary() const {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "runtime=%s preprocess=%s supersteps=%llu io=%s agg_bw=%s util=%.1f%% net=%s\n",
+                FormatSeconds(total_seconds()).c_str(),
+                FormatSeconds(ToSeconds(preprocess_time)).c_str(),
+                static_cast<unsigned long long>(supersteps),
+                FormatBytes(StorageBytesMoved()).c_str(),
+                FormatBandwidth(AggregateStorageBandwidth()).c_str(),
+                100.0 * MeanDeviceUtilization(), FormatBytes(network_bytes).c_str());
+  out += line;
+  for (int b = 0; b < static_cast<int>(Bucket::kNumBuckets); ++b) {
+    std::snprintf(line, sizeof(line), "  %-14s %6.2f%%\n",
+                  BucketName(static_cast<Bucket>(b)),
+                  100.0 * BucketFraction(static_cast<Bucket>(b)));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace chaos

@@ -1,0 +1,85 @@
+// Run metrics: the per-machine time breakdown of Fig. 17/18 plus storage and
+// network accounting used by Figs. 7-16.
+#ifndef CHAOS_CORE_METRICS_H_
+#define CHAOS_CORE_METRICS_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace chaos {
+
+// Buckets of Fig. 17: graph processing on own/stolen partitions, stolen
+// vertex-set copying, accumulator merging, waits on the accumulator
+// handshake, and barrier waits. Pre-processing and checkpointing are kept
+// separate so the paper's per-figure accounting can be recomputed.
+enum class Bucket : int {
+  kGpMaster = 0,   // streaming + compute, partitions this machine masters
+  kGpSteal = 1,    // streaming + compute, stolen partitions
+  kCopy = 2,       // vertex-set load for stolen partitions
+  kMerge = 3,      // merging replica accumulators (master side, CPU)
+  kMergeWait = 4,  // waiting on the accumulator pull handshake (both sides)
+  kBarrier = 5,    // waiting at global barriers
+  kPreprocess = 6, // streaming partition creation + vertex init
+  kCheckpoint = 7, // 2-phase checkpoint writes
+  kNumBuckets = 8,
+};
+
+const char* BucketName(Bucket b);
+
+struct MachineMetrics {
+  std::array<TimeNs, static_cast<size_t>(Bucket::kNumBuckets)> buckets{};
+  uint64_t edges_processed = 0;
+  uint64_t updates_processed = 0;
+  uint64_t updates_emitted = 0;
+  uint64_t chunks_fetched = 0;
+  uint64_t steal_proposals_sent = 0;
+  uint64_t steals_worked = 0;       // stolen partition work items executed
+  uint64_t proposals_received = 0;  // as master
+  uint64_t proposals_accepted = 0;  // as master
+
+  TimeNs bucket(Bucket b) const { return buckets[static_cast<size_t>(b)]; }
+  void Add(Bucket b, TimeNs t) { buckets[static_cast<size_t>(b)] += t; }
+  TimeNs TotalTracked() const;
+};
+
+struct DeviceMetrics {
+  uint64_t bytes_read = 0;
+  uint64_t bytes_written = 0;
+  TimeNs busy = 0;
+  uint64_t chunks_served = 0;
+};
+
+struct RunMetrics {
+  TimeNs total_time = 0;
+  TimeNs preprocess_time = 0;  // up to the start of the first scatter
+  uint64_t supersteps = 0;
+  std::vector<MachineMetrics> machines;
+  std::vector<DeviceMetrics> devices;
+  uint64_t network_bytes = 0;
+  uint64_t incast_events = 0;
+  uint64_t messages = 0;
+  bool crashed = false;
+
+  double total_seconds() const { return ToSeconds(total_time); }
+
+  uint64_t StorageBytesMoved() const;
+  // Aggregate storage bandwidth over the run (Fig. 14).
+  double AggregateStorageBandwidth() const;
+  // Mean device utilization = busy / total, averaged over devices.
+  double MeanDeviceUtilization() const;
+  // Max over machines of a bucket (load-balance overhead views, Fig. 20).
+  TimeNs MaxBucket(Bucket b) const;
+  TimeNs SumBucket(Bucket b) const;
+  // Fraction of summed machine time in a bucket (Fig. 17 bars).
+  double BucketFraction(Bucket b) const;
+
+  std::string Summary() const;
+};
+
+}  // namespace chaos
+
+#endif  // CHAOS_CORE_METRICS_H_

@@ -1,0 +1,68 @@
+// Compute-engine to compute-engine protocol: work stealing, accumulator
+// pulls, and the coordinator-based barrier with global-state reduction.
+#ifndef CHAOS_CORE_PROTOCOL_H_
+#define CHAOS_CORE_PROTOCOL_H_
+
+#include <cstdint>
+
+#include "storage/chunk.h"
+#include "util/common.h"
+
+namespace chaos {
+
+enum ComputeMsgType : uint32_t {
+  kHelpProposalReq = 300,   // body: HelpProposalReq -> kHelpProposalResp
+  kHelpProposalResp = 301,  // body: HelpProposalResp
+  kAccumPullReq = 302,      // body: AccumPullReq -> kAccumPullResp
+  kAccumPullResp = 303,     // body: AccumPullResp
+  kBarrierArrive = 304,     // body: BarrierArrive<G> -> kBarrierRelease
+  kBarrierRelease = 305,    // body: BarrierRelease<G>
+  kControlShutdown = 306,
+};
+
+enum class EnginePhase : uint8_t {
+  kScatter = 0,
+  kGather = 1,
+};
+
+struct HelpProposalReq {
+  PartitionId partition = 0;
+  EnginePhase phase = EnginePhase::kScatter;
+  uint64_t superstep = 0;
+};
+
+struct HelpProposalResp {
+  bool accept = false;
+};
+
+struct AccumPullReq {
+  PartitionId partition = 0;
+  uint64_t superstep = 0;
+};
+
+// The stealer's accumulator array for the partition, shipped as a chunk
+// (count = partition vertex count, wire = count * sizeof(Accumulator)).
+struct AccumPullResp {
+  Chunk accums;
+  uint64_t updates_gathered = 0;
+};
+
+template <typename G>
+struct BarrierArrive {
+  uint64_t phase_id = 0;  // monotonically increasing per barrier
+  G local{};              // per-machine aggregator delta
+  uint64_t vertices_changed = 0;
+  bool advance = false;   // gather barrier: reduce aggregators and Advance()
+  uint64_t superstep = 0;
+};
+
+template <typename G>
+struct BarrierRelease {
+  G global{};  // canonical global state for the next phase
+  bool done = false;
+  bool crash = false;  // simulated failure: stop without finishing
+};
+
+}  // namespace chaos
+
+#endif  // CHAOS_CORE_PROTOCOL_H_

@@ -1,0 +1,192 @@
+#include "graph/edge_list_io.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <algorithm>
+#include <sstream>
+
+namespace chaos {
+namespace {
+
+constexpr char kMagic[8] = {'C', 'H', 'A', 'O', 'S', 'E', 'L', '1'};
+
+struct BinaryHeader {
+  char magic[8];
+  uint64_t num_vertices;
+  uint64_t num_edges;
+  uint8_t weighted;
+  uint8_t compact;
+  uint8_t reserved[6];
+};
+static_assert(sizeof(BinaryHeader) == 32);
+
+template <typename T>
+void Put(std::ofstream& out, T value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool Get(std::ifstream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  return in.gcount() == sizeof(T);
+}
+
+}  // namespace
+
+bool SaveEdgeListBinary(const InputGraph& graph, const std::string& path, std::string* error) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.good()) {
+    if (error != nullptr) {
+      *error = "cannot open " + path + " for writing";
+    }
+    return false;
+  }
+  BinaryHeader header{};
+  std::memcpy(header.magic, kMagic, sizeof(kMagic));
+  header.num_vertices = graph.num_vertices;
+  header.num_edges = graph.num_edges();
+  header.weighted = graph.weighted ? 1 : 0;
+  header.compact = graph.compact() ? 1 : 0;
+  out.write(reinterpret_cast<const char*>(&header), sizeof(header));
+  for (const Edge& e : graph.edges) {
+    if (header.compact) {
+      Put(out, static_cast<uint32_t>(e.src));
+      Put(out, static_cast<uint32_t>(e.dst));
+    } else {
+      Put(out, static_cast<uint64_t>(e.src));
+      Put(out, static_cast<uint64_t>(e.dst));
+    }
+    if (header.weighted) {
+      Put(out, e.weight);
+    }
+  }
+  out.close();
+  if (!out.good()) {
+    if (error != nullptr) {
+      *error = "short write to " + path;
+    }
+    return false;
+  }
+  return true;
+}
+
+std::optional<InputGraph> LoadEdgeListBinary(const std::string& path, std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    if (error != nullptr) {
+      *error = "cannot open " + path;
+    }
+    return std::nullopt;
+  }
+  BinaryHeader header{};
+  if (!Get(in, &header) || std::memcmp(header.magic, kMagic, sizeof(kMagic)) != 0) {
+    if (error != nullptr) {
+      *error = path + " is not a Chaos edge-list file";
+    }
+    return std::nullopt;
+  }
+  InputGraph graph;
+  graph.num_vertices = header.num_vertices;
+  graph.weighted = header.weighted != 0;
+  graph.edges.reserve(header.num_edges);
+  for (uint64_t i = 0; i < header.num_edges; ++i) {
+    Edge e;
+    bool ok;
+    if (header.compact) {
+      uint32_t src;
+      uint32_t dst;
+      ok = Get(in, &src) && Get(in, &dst);
+      e.src = src;
+      e.dst = dst;
+    } else {
+      ok = Get(in, &e.src) && Get(in, &e.dst);
+    }
+    if (ok && header.weighted) {
+      ok = Get(in, &e.weight);
+    }
+    if (!ok) {
+      if (error != nullptr) {
+        *error = "truncated edge record " + std::to_string(i) + " in " + path;
+      }
+      return std::nullopt;
+    }
+    graph.edges.push_back(e);
+  }
+  std::string validation;
+  if (!ValidateGraph(graph, &validation)) {
+    if (error != nullptr) {
+      *error = path + ": " + validation;
+    }
+    return std::nullopt;
+  }
+  return graph;
+}
+
+bool SaveEdgeListText(const InputGraph& graph, const std::string& path, std::string* error) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.good()) {
+    if (error != nullptr) {
+      *error = "cannot open " + path + " for writing";
+    }
+    return false;
+  }
+  out << "# chaos edge list: " << graph.num_vertices << " vertices, " << graph.num_edges()
+      << " edges\n";
+  for (const Edge& e : graph.edges) {
+    out << e.src << ' ' << e.dst;
+    if (graph.weighted) {
+      out << ' ' << e.weight;
+    }
+    out << '\n';
+  }
+  out.close();
+  if (!out.good()) {
+    if (error != nullptr) {
+      *error = "short write to " + path;
+    }
+    return false;
+  }
+  return true;
+}
+
+std::optional<InputGraph> LoadEdgeListText(const std::string& path, std::string* error) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    if (error != nullptr) {
+      *error = "cannot open " + path;
+    }
+    return std::nullopt;
+  }
+  InputGraph graph;
+  VertexId max_id = 0;
+  bool any_edge = false;
+  std::string line;
+  uint64_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#' || line[0] == '%') {
+      continue;
+    }
+    std::istringstream fields(line);
+    Edge e;
+    if (!(fields >> e.src >> e.dst)) {
+      if (error != nullptr) {
+        *error = path + ":" + std::to_string(line_no) + ": expected 'src dst [weight]'";
+      }
+      return std::nullopt;
+    }
+    float weight;
+    if (fields >> weight) {
+      e.weight = weight;
+      graph.weighted = true;
+    }
+    max_id = std::max({max_id, e.src, e.dst});
+    any_edge = true;
+    graph.edges.push_back(e);
+  }
+  graph.num_vertices = any_edge ? max_id + 1 : 0;
+  return graph;
+}
+
+}  // namespace chaos

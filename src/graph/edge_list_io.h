@@ -1,0 +1,37 @@
+// Edge-list file I/O: the paper's input format is an unsorted edge list of
+// (source, target[, weight]) records (§8). Two on-disk encodings:
+//
+//  * Binary: a small header (magic, version, vertex count, flags) followed
+//    by packed records in the paper's compact (4-byte) or non-compact
+//    (8-byte) format, chosen by vertex count exactly as the paper does.
+//  * Text: one edge per line, "src dst [weight]", '#' comments — the SNAP /
+//    webgraph-dump convention, so published datasets load directly.
+#ifndef CHAOS_GRAPH_EDGE_LIST_IO_H_
+#define CHAOS_GRAPH_EDGE_LIST_IO_H_
+
+#include <optional>
+#include <string>
+
+#include "graph/types.h"
+
+namespace chaos {
+
+// Writes `graph` in the binary format. Returns false and fills `error` on
+// I/O failure.
+bool SaveEdgeListBinary(const InputGraph& graph, const std::string& path, std::string* error);
+
+// Loads a binary edge list written by SaveEdgeListBinary.
+std::optional<InputGraph> LoadEdgeListBinary(const std::string& path, std::string* error);
+
+// Writes "src dst [weight]" lines.
+bool SaveEdgeListText(const InputGraph& graph, const std::string& path, std::string* error);
+
+// Loads a text edge list. Vertex ids may be arbitrary (non-contiguous);
+// num_vertices becomes max id + 1. Lines starting with '#' or '%' are
+// comments. A third column, when present on any line, makes the graph
+// weighted (weight defaults to 1 elsewhere).
+std::optional<InputGraph> LoadEdgeListText(const std::string& path, std::string* error);
+
+}  // namespace chaos
+
+#endif  // CHAOS_GRAPH_EDGE_LIST_IO_H_

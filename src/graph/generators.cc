@@ -1,0 +1,182 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/common.h"
+
+namespace chaos {
+namespace {
+
+float RandomWeight(Rng& rng, double max_weight) {
+  // Strictly positive, effectively-distinct weights (helps MSF tie-breaks).
+  return static_cast<float>(rng.NextDouble() * (max_weight - 0.001) + 0.001);
+}
+
+// Samples an index in [0, n) from a Zipf-like distribution with exponent s
+// using inverse-CDF over precomputed cumulative weights.
+class ZipfSampler {
+ public:
+  ZipfSampler(uint64_t n, double s) : cdf_(n) {
+    CHAOS_CHECK_GT(n, 0u);
+    double total = 0.0;
+    for (uint64_t i = 0; i < n; ++i) {
+      total += 1.0 / std::pow(static_cast<double>(i + 1), s);
+      cdf_[i] = total;
+    }
+    for (auto& v : cdf_) {
+      v /= total;
+    }
+  }
+
+  uint64_t Sample(Rng& rng) const {
+    const double u = rng.NextDouble();
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return static_cast<uint64_t>(it - cdf_.begin());
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace
+
+InputGraph GenerateRmat(const RmatOptions& options) {
+  CHAOS_CHECK_LE(options.scale, 40u);
+  const double d = 1.0 - options.a - options.b - options.c;
+  CHAOS_CHECK_MSG(d > 0.0, "RMAT quadrant probabilities must sum to < 1");
+  const uint64_t n = 1ull << options.scale;
+  const uint64_t m = n * options.edges_per_vertex;
+
+  InputGraph g;
+  g.num_vertices = n;
+  g.weighted = options.weighted;
+  g.edges.reserve(m);
+
+  Rng rng(options.seed);
+  std::vector<uint32_t> perm;
+  if (options.permute_ids) {
+    CHAOS_CHECK_LE(n, (1ull << 32));
+    perm = rng.Permutation(static_cast<uint32_t>(n));
+  }
+
+  const double ab = options.a + options.b;
+  const double abc = ab + options.c;
+  for (uint64_t i = 0; i < m; ++i) {
+    uint64_t src = 0;
+    uint64_t dst = 0;
+    for (uint32_t level = 0; level < options.scale; ++level) {
+      const double u = rng.NextDouble();
+      src <<= 1;
+      dst <<= 1;
+      if (u < options.a) {
+        // top-left: no bits set
+      } else if (u < ab) {
+        dst |= 1;
+      } else if (u < abc) {
+        src |= 1;
+      } else {
+        src |= 1;
+        dst |= 1;
+      }
+    }
+    Edge e;
+    e.src = options.permute_ids ? perm[src] : src;
+    e.dst = options.permute_ids ? perm[dst] : dst;
+    e.weight = options.weighted ? RandomWeight(rng, 100.0) : 1.0f;
+    g.edges.push_back(e);
+  }
+  return g;
+}
+
+InputGraph GenerateWebGraph(const WebGraphOptions& options) {
+  CHAOS_CHECK_GT(options.num_hosts, 0u);
+  CHAOS_CHECK_GE(options.num_pages, options.num_hosts);
+  InputGraph g;
+  g.num_vertices = options.num_pages;
+  g.weighted = options.weighted;
+
+  Rng rng(options.seed);
+
+  // Assign pages to hosts with Zipf-distributed host sizes.
+  ZipfSampler host_sampler(options.num_hosts, options.host_zipf_exponent);
+  std::vector<uint64_t> host_of(options.num_pages);
+  std::vector<std::vector<uint64_t>> host_pages(options.num_hosts);
+  for (uint64_t p = 0; p < options.num_pages; ++p) {
+    const uint64_t h = p < options.num_hosts ? p : host_sampler.Sample(rng);
+    host_of[p] = h;
+    host_pages[h].push_back(p);
+  }
+
+  // Popular cross-host targets (global Zipf over pages).
+  ZipfSampler page_sampler(options.num_pages, options.page_zipf_exponent);
+
+  const auto target_edges =
+      static_cast<uint64_t>(options.mean_out_degree * static_cast<double>(options.num_pages));
+  g.edges.reserve(target_edges);
+  for (uint64_t i = 0; i < target_edges; ++i) {
+    // Source pages: heavier pages link more (size-biased via global Zipf).
+    const uint64_t src = page_sampler.Sample(rng);
+    uint64_t dst;
+    if (rng.Bernoulli(options.intra_host_fraction)) {
+      const auto& pages = host_pages[host_of[src]];
+      dst = pages[rng.Below(pages.size())];
+    } else {
+      dst = page_sampler.Sample(rng);
+    }
+    Edge e;
+    e.src = src;
+    e.dst = dst;
+    e.weight = options.weighted ? RandomWeight(rng, 10.0) : 1.0f;
+    g.edges.push_back(e);
+  }
+  return g;
+}
+
+InputGraph GenerateGridGraph(const GridGraphOptions& options) {
+  InputGraph g;
+  const uint64_t w = options.width;
+  const uint64_t h = options.height;
+  g.num_vertices = w * h;
+  g.weighted = options.weighted;
+  Rng rng(options.seed);
+  auto id = [w](uint64_t x, uint64_t y) { return y * w + x; };
+  for (uint64_t y = 0; y < h; ++y) {
+    for (uint64_t x = 0; x < w; ++x) {
+      if (x + 1 < w) {
+        const float weight =
+            options.weighted ? RandomWeight(rng, options.max_weight) : 1.0f;
+        g.edges.push_back(Edge{id(x, y), id(x + 1, y), weight, kEdgeForward});
+        g.edges.push_back(Edge{id(x + 1, y), id(x, y), weight, kEdgeForward});
+      }
+      if (y + 1 < h) {
+        const float weight =
+            options.weighted ? RandomWeight(rng, options.max_weight) : 1.0f;
+        g.edges.push_back(Edge{id(x, y), id(x, y + 1), weight, kEdgeForward});
+        g.edges.push_back(Edge{id(x, y + 1), id(x, y), weight, kEdgeForward});
+      }
+    }
+  }
+  return g;
+}
+
+InputGraph GenerateUniformRandom(uint64_t num_vertices, uint64_t num_edges, bool weighted,
+                                 uint64_t seed) {
+  CHAOS_CHECK_GT(num_vertices, 0u);
+  InputGraph g;
+  g.num_vertices = num_vertices;
+  g.weighted = weighted;
+  g.edges.reserve(num_edges);
+  Rng rng(seed);
+  for (uint64_t i = 0; i < num_edges; ++i) {
+    Edge e;
+    e.src = rng.Below(num_vertices);
+    e.dst = rng.Below(num_vertices);
+    e.weight = weighted ? RandomWeight(rng, 100.0) : 1.0f;
+    g.edges.push_back(e);
+  }
+  return g;
+}
+
+}  // namespace chaos

@@ -1,0 +1,352 @@
+#include "graph/ref/reference.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <map>
+#include <numeric>
+#include <queue>
+
+#include "util/common.h"
+
+namespace chaos::ref {
+namespace {
+
+// CSR-ish adjacency (targets + weights per source).
+struct Adjacency {
+  std::vector<uint64_t> offsets;  // n + 1
+  std::vector<VertexId> targets;
+  std::vector<float> weights;
+};
+
+Adjacency BuildAdjacency(const InputGraph& g) {
+  Adjacency adj;
+  adj.offsets.assign(g.num_vertices + 1, 0);
+  for (const Edge& e : g.edges) {
+    adj.offsets[e.src + 1]++;
+  }
+  std::partial_sum(adj.offsets.begin(), adj.offsets.end(), adj.offsets.begin());
+  adj.targets.resize(g.edges.size());
+  adj.weights.resize(g.edges.size());
+  std::vector<uint64_t> cursor(adj.offsets.begin(), adj.offsets.end() - 1);
+  for (const Edge& e : g.edges) {
+    const uint64_t pos = cursor[e.src]++;
+    adj.targets[pos] = e.dst;
+    adj.weights[pos] = e.weight;
+  }
+  return adj;
+}
+
+// Union-find with path halving.
+class UnionFind {
+ public:
+  explicit UnionFind(uint64_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), VertexId{0});
+  }
+
+  VertexId Find(VertexId x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  bool Union(VertexId a, VertexId b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) {
+      return false;
+    }
+    if (a < b) {
+      parent_[b] = a;  // keep the smaller id as root
+    } else {
+      parent_[a] = b;
+    }
+    return true;
+  }
+
+ private:
+  std::vector<VertexId> parent_;
+};
+
+}  // namespace
+
+std::vector<int64_t> BfsDepths(const InputGraph& g, VertexId source) {
+  CHAOS_CHECK_LT(source, g.num_vertices);
+  Adjacency adj = BuildAdjacency(g);
+  std::vector<int64_t> depth(g.num_vertices, kUnreachable);
+  std::deque<VertexId> frontier{source};
+  depth[source] = 0;
+  while (!frontier.empty()) {
+    const VertexId v = frontier.front();
+    frontier.pop_front();
+    for (uint64_t i = adj.offsets[v]; i < adj.offsets[v + 1]; ++i) {
+      const VertexId t = adj.targets[i];
+      if (depth[t] == kUnreachable) {
+        depth[t] = depth[v] + 1;
+        frontier.push_back(t);
+      }
+    }
+  }
+  return depth;
+}
+
+std::vector<VertexId> ComponentLabels(const InputGraph& g) {
+  UnionFind uf(g.num_vertices);
+  for (const Edge& e : g.edges) {
+    uf.Union(e.src, e.dst);
+  }
+  std::vector<VertexId> labels(g.num_vertices);
+  for (VertexId v = 0; v < g.num_vertices; ++v) {
+    labels[v] = uf.Find(v);  // root is the component minimum by construction
+  }
+  return labels;
+}
+
+std::vector<double> DijkstraDistances(const InputGraph& g, VertexId source) {
+  CHAOS_CHECK_LT(source, g.num_vertices);
+  Adjacency adj = BuildAdjacency(g);
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(g.num_vertices, kInf);
+  using Item = std::pair<double, VertexId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  dist[source] = 0.0;
+  heap.emplace(0.0, source);
+  while (!heap.empty()) {
+    const auto [d, v] = heap.top();
+    heap.pop();
+    if (d > dist[v]) {
+      continue;
+    }
+    for (uint64_t i = adj.offsets[v]; i < adj.offsets[v + 1]; ++i) {
+      const VertexId t = adj.targets[i];
+      const double nd = d + static_cast<double>(adj.weights[i]);
+      if (nd < dist[t]) {
+        dist[t] = nd;
+        heap.emplace(nd, t);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<double> PageRank(const InputGraph& g, int iterations, double damping) {
+  std::vector<uint32_t> degree = OutDegrees(g);
+  std::vector<double> rank(g.num_vertices, 1.0);
+  std::vector<double> accum(g.num_vertices, 0.0);
+  for (int iter = 0; iter < iterations; ++iter) {
+    std::fill(accum.begin(), accum.end(), 0.0);
+    for (const Edge& e : g.edges) {
+      if (e.flags != kEdgeForward) {
+        continue;
+      }
+      accum[e.dst] += rank[e.src] / static_cast<double>(degree[e.src]);
+    }
+    for (VertexId v = 0; v < g.num_vertices; ++v) {
+      rank[v] = (1.0 - damping) + damping * accum[v];
+    }
+  }
+  return rank;
+}
+
+MsfResult KruskalMsf(const InputGraph& g) {
+  // Undirected interpretation: sort by (weight, src, dst) for deterministic
+  // tie-breaking; self-loops skipped.
+  std::vector<uint64_t> order(g.edges.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](uint64_t a, uint64_t b) {
+    const Edge& ea = g.edges[a];
+    const Edge& eb = g.edges[b];
+    if (ea.weight != eb.weight) {
+      return ea.weight < eb.weight;
+    }
+    if (ea.src != eb.src) {
+      return ea.src < eb.src;
+    }
+    return ea.dst < eb.dst;
+  });
+  UnionFind uf(g.num_vertices);
+  MsfResult result;
+  for (const uint64_t i : order) {
+    const Edge& e = g.edges[i];
+    if (e.src == e.dst) {
+      continue;
+    }
+    if (uf.Union(e.src, e.dst)) {
+      result.total_weight += static_cast<double>(e.weight);
+      ++result.num_edges;
+    }
+  }
+  return result;
+}
+
+std::vector<uint32_t> StronglyConnectedComponents(const InputGraph& g) {
+  Adjacency adj = BuildAdjacency(g);
+  const uint64_t n = g.num_vertices;
+  constexpr uint32_t kUnset = 0xffffffffu;
+  std::vector<uint32_t> comp(n, kUnset);
+  std::vector<uint32_t> index(n, kUnset);
+  std::vector<uint32_t> lowlink(n, 0);
+  std::vector<uint8_t> on_stack(n, 0);
+  std::vector<VertexId> stack;
+  uint32_t next_index = 0;
+  uint32_t next_comp = 0;
+
+  // Iterative Tarjan with an explicit DFS work stack.
+  struct Frame {
+    VertexId v;
+    uint64_t edge_cursor;
+  };
+  std::vector<Frame> dfs;
+  for (VertexId root = 0; root < n; ++root) {
+    if (index[root] != kUnset) {
+      continue;
+    }
+    dfs.push_back({root, adj.offsets[root]});
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = 1;
+    while (!dfs.empty()) {
+      Frame& frame = dfs.back();
+      const VertexId v = frame.v;
+      if (frame.edge_cursor < adj.offsets[v + 1]) {
+        const VertexId w = adj.targets[frame.edge_cursor++];
+        if (index[w] == kUnset) {
+          index[w] = lowlink[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = 1;
+          dfs.push_back({w, adj.offsets[w]});
+        } else if (on_stack[w]) {
+          lowlink[v] = std::min(lowlink[v], index[w]);
+        }
+        continue;
+      }
+      if (lowlink[v] == index[v]) {
+        while (true) {
+          const VertexId w = stack.back();
+          stack.pop_back();
+          on_stack[w] = 0;
+          comp[w] = next_comp;
+          if (w == v) {
+            break;
+          }
+        }
+        ++next_comp;
+      }
+      dfs.pop_back();
+      if (!dfs.empty()) {
+        lowlink[dfs.back().v] = std::min(lowlink[dfs.back().v], lowlink[v]);
+      }
+    }
+  }
+  return comp;
+}
+
+namespace {
+
+template <typename T>
+bool SamePartitionImpl(const std::vector<T>& a, const std::vector<T>& b) {
+  if (a.size() != b.size()) {
+    return false;
+  }
+  std::map<T, T> fwd;
+  std::map<T, T> rev;
+  for (size_t i = 0; i < a.size(); ++i) {
+    auto [fit, finserted] = fwd.emplace(a[i], b[i]);
+    if (!finserted && fit->second != b[i]) {
+      return false;
+    }
+    auto [rit, rinserted] = rev.emplace(b[i], a[i]);
+    if (!rinserted && rit->second != a[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool SamePartition(const std::vector<uint32_t>& a, const std::vector<uint32_t>& b) {
+  return SamePartitionImpl(a, b);
+}
+
+bool SamePartition(const std::vector<VertexId>& a, const std::vector<VertexId>& b) {
+  return SamePartitionImpl(a, b);
+}
+
+bool IsMaximalIndependentSet(const InputGraph& g, const std::vector<uint8_t>& in_set) {
+  CHAOS_CHECK_EQ(in_set.size(), g.num_vertices);
+  std::vector<uint8_t> has_in_neighbor(g.num_vertices, 0);
+  for (const Edge& e : g.edges) {
+    if (e.src == e.dst) {
+      continue;
+    }
+    if (in_set[e.src] && in_set[e.dst]) {
+      return false;  // not independent
+    }
+    if (in_set[e.src]) {
+      has_in_neighbor[e.dst] = 1;
+    }
+    if (in_set[e.dst]) {
+      has_in_neighbor[e.src] = 1;
+    }
+  }
+  for (VertexId v = 0; v < g.num_vertices; ++v) {
+    if (!in_set[v] && !has_in_neighbor[v]) {
+      return false;  // not maximal: v could join
+    }
+  }
+  return true;
+}
+
+double Conductance(const InputGraph& g, const std::vector<uint8_t>& member) {
+  CHAOS_CHECK_EQ(member.size(), g.num_vertices);
+  uint64_t cut = 0;
+  uint64_t vol_in = 0;
+  uint64_t vol_out = 0;
+  for (const Edge& e : g.edges) {
+    if (member[e.src]) {
+      ++vol_in;
+    } else {
+      ++vol_out;
+    }
+    if (member[e.src] != member[e.dst]) {
+      ++cut;
+    }
+  }
+  const uint64_t denom = std::min(vol_in, vol_out);
+  if (denom == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(cut) / static_cast<double>(denom);
+}
+
+std::vector<double> SpMV(const InputGraph& g, const std::vector<double>& x) {
+  CHAOS_CHECK_EQ(x.size(), g.num_vertices);
+  std::vector<double> y(g.num_vertices, 0.0);
+  for (const Edge& e : g.edges) {
+    y[e.dst] += static_cast<double>(e.weight) * x[e.src];
+  }
+  return y;
+}
+
+std::vector<double> BeliefPropagation(const InputGraph& g, const std::vector<double>& priors,
+                                      int iterations, double damping) {
+  CHAOS_CHECK_EQ(priors.size(), g.num_vertices);
+  std::vector<double> belief = priors;
+  std::vector<double> accum(g.num_vertices, 0.0);
+  for (int iter = 0; iter < iterations; ++iter) {
+    std::fill(accum.begin(), accum.end(), 0.0);
+    for (const Edge& e : g.edges) {
+      accum[e.dst] += std::tanh(belief[e.src] * 0.5) * static_cast<double>(e.weight);
+    }
+    for (VertexId v = 0; v < g.num_vertices; ++v) {
+      belief[v] = priors[v] + damping * accum[v];
+    }
+  }
+  return belief;
+}
+
+}  // namespace chaos::ref

@@ -1,0 +1,76 @@
+// Single-threaded in-memory reference implementations used to validate the
+// out-of-core GAS algorithms (and exposed to library users for verification
+// on graphs that fit in memory).
+//
+// Semantics intentionally match the GAS programs in src/algorithms/:
+//  * Edges are directed arcs exactly as given; undirected algorithms expect
+//    the caller to pass an edge list that already contains both directions.
+//  * PageRank uses the X-Stream/paper rule rank = 0.15 + 0.85 * sum of
+//    rank/degree over in-neighbors (Fig. 2), no 1/n normalization.
+//  * Belief propagation matches the simplified pairwise rule of the GAS
+//    program bit-for-bit (same float evaluation order is not required;
+//    comparisons use tolerances).
+#ifndef CHAOS_GRAPH_REF_REFERENCE_H_
+#define CHAOS_GRAPH_REF_REFERENCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace chaos::ref {
+
+inline constexpr int64_t kUnreachable = -1;
+
+// BFS depth of every vertex from `source` (kUnreachable if not reached).
+std::vector<int64_t> BfsDepths(const InputGraph& g, VertexId source);
+
+// Weakly-connected component label per vertex: the minimum vertex id in the
+// component (edges treated as undirected regardless of direction).
+std::vector<VertexId> ComponentLabels(const InputGraph& g);
+
+// Dijkstra distances from `source` along directed weighted arcs.
+// Unreachable vertices get infinity.
+std::vector<double> DijkstraDistances(const InputGraph& g, VertexId source);
+
+// PageRank with the paper's update rule for `iterations` rounds.
+std::vector<double> PageRank(const InputGraph& g, int iterations, double damping = 0.85);
+
+struct MsfResult {
+  double total_weight = 0.0;
+  uint64_t num_edges = 0;
+};
+
+// Kruskal minimum spanning forest over the undirected interpretation of the
+// edge list (parallel edges allowed; self-loops ignored).
+MsfResult KruskalMsf(const InputGraph& g);
+
+// Strongly connected components (Tarjan, iterative). Returns a component
+// index per vertex; indices are arbitrary but grouping is canonical.
+std::vector<uint32_t> StronglyConnectedComponents(const InputGraph& g);
+
+// Groups-equal comparison for component labelings with arbitrary ids.
+bool SamePartition(const std::vector<uint32_t>& a, const std::vector<uint32_t>& b);
+bool SamePartition(const std::vector<VertexId>& a, const std::vector<VertexId>& b);
+
+// Validates an independent set: no edge inside the set, and every vertex
+// outside the set has at least one neighbor inside (maximality).
+bool IsMaximalIndependentSet(const InputGraph& g, const std::vector<uint8_t>& in_set);
+
+// Conductance of the vertex subset S = {v : member[v] != 0}:
+// cut(S, S̄) / min(vol(S), vol(S̄)), with vol = sum of out-degrees.
+double Conductance(const InputGraph& g, const std::vector<uint8_t>& member);
+
+// One sparse matrix-vector product y = A^T x over the edge list
+// (y[dst] += weight * x[src]).
+std::vector<double> SpMV(const InputGraph& g, const std::vector<double>& x);
+
+// Simplified loopy belief propagation for binary labels: per iteration,
+// belief_v = prior_v + damping * sum over incoming arcs (u,v) of
+// tanh(belief_u / 2) * weight. Matches the GAS program.
+std::vector<double> BeliefPropagation(const InputGraph& g, const std::vector<double>& priors,
+                                      int iterations, double damping = 0.5);
+
+}  // namespace chaos::ref
+
+#endif  // CHAOS_GRAPH_REF_REFERENCE_H_

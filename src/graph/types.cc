@@ -1,0 +1,59 @@
+#include "graph/types.h"
+
+namespace chaos {
+
+InputGraph MakeUndirected(const InputGraph& g) {
+  InputGraph out;
+  out.num_vertices = g.num_vertices;
+  out.weighted = g.weighted;
+  out.edges.reserve(g.edges.size() * 2);
+  for (const Edge& e : g.edges) {
+    out.edges.push_back(e);
+    Edge reverse = e;
+    reverse.src = e.dst;
+    reverse.dst = e.src;
+    out.edges.push_back(reverse);
+  }
+  return out;
+}
+
+InputGraph MakeBidirected(const InputGraph& g) {
+  InputGraph out;
+  out.num_vertices = g.num_vertices;
+  out.weighted = g.weighted;
+  out.edges.reserve(g.edges.size() * 2);
+  for (const Edge& e : g.edges) {
+    out.edges.push_back(e);
+    Edge reverse = e;
+    reverse.src = e.dst;
+    reverse.dst = e.src;
+    reverse.flags = kEdgeReverse;
+    out.edges.push_back(reverse);
+  }
+  return out;
+}
+
+std::vector<uint32_t> OutDegrees(const InputGraph& g) {
+  std::vector<uint32_t> degrees(g.num_vertices, 0);
+  for (const Edge& e : g.edges) {
+    if (e.flags == kEdgeForward) {
+      degrees[e.src]++;
+    }
+  }
+  return degrees;
+}
+
+bool ValidateGraph(const InputGraph& g, std::string* error) {
+  for (const Edge& e : g.edges) {
+    if (e.src >= g.num_vertices || e.dst >= g.num_vertices) {
+      if (error != nullptr) {
+        *error = "edge endpoint out of range: " + std::to_string(e.src) + " -> " +
+                 std::to_string(e.dst) + " (n=" + std::to_string(g.num_vertices) + ")";
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace chaos

@@ -1,0 +1,72 @@
+// Graph input types and the paper's on-storage record formats.
+//
+// Input to a computation is an unsorted edge list (paper §8). In memory each
+// edge is a POD record; on (simulated) storage and on the wire it is modeled
+// at the paper's sizes: compact format (4-byte vertex ids, graphs with fewer
+// than 2^32 vertices) or non-compact (8-byte ids), each plus an optional
+// 4-byte weight.
+#ifndef CHAOS_GRAPH_TYPES_H_
+#define CHAOS_GRAPH_TYPES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/common.h"
+
+namespace chaos {
+
+using VertexId = uint64_t;
+
+// Edge flags (used by algorithms that need both directions, e.g. SCC).
+enum EdgeFlags : uint32_t {
+  kEdgeForward = 0,
+  kEdgeReverse = 1,  // this record is the reverse image of an input edge
+};
+
+struct Edge {
+  VertexId src = 0;
+  VertexId dst = 0;
+  float weight = 1.0f;
+  uint32_t flags = kEdgeForward;
+};
+static_assert(sizeof(Edge) == 24, "Edge must stay a compact POD");
+
+struct InputGraph {
+  uint64_t num_vertices = 0;
+  bool weighted = false;
+  std::vector<Edge> edges;
+
+  uint64_t num_edges() const { return edges.size(); }
+  // Paper §8: graphs with < 2^32 vertices use the 4-byte compact format.
+  bool compact() const { return num_vertices < (1ull << 32); }
+  // Modeled on-storage bytes for one edge record. The paper's formats use
+  // 4 bytes per vertex id and per weight (compact) or 8 bytes (non-compact).
+  uint64_t edge_wire_bytes() const {
+    const uint64_t field = compact() ? 4 : 8;
+    return 2 * field + (weighted ? field : 0);
+  }
+  // Modeled on-storage bytes of the whole input edge list.
+  uint64_t input_wire_bytes() const { return num_edges() * edge_wire_bytes(); }
+  // Modeled bytes of one vertex id on the wire.
+  uint64_t vertex_id_wire_bytes() const { return compact() ? 4 : 8; }
+};
+
+// Appends the reverse of every edge: used to turn a directed input into the
+// undirected graph the first five benchmark algorithms require (§8).
+InputGraph MakeUndirected(const InputGraph& g);
+
+// Appends a kEdgeReverse-flagged mirror of every edge, for algorithms that
+// traverse both directions of a directed graph (SCC backward phase, BP).
+InputGraph MakeBidirected(const InputGraph& g);
+
+// Out-degree per vertex (counting only kEdgeForward records).
+std::vector<uint32_t> OutDegrees(const InputGraph& g);
+
+// Basic structural validation: endpoints within range, no self-check beyond
+// that. Returns false and fills `error` on failure.
+bool ValidateGraph(const InputGraph& g, std::string* error);
+
+}  // namespace chaos
+
+#endif  // CHAOS_GRAPH_TYPES_H_

@@ -1,0 +1,153 @@
+// Simulated cluster network: one NIC (uplink + downlink FIFO resource pair)
+// per machine behind a full-bisection switch, plus a message bus with typed
+// messages and RPC correlation.
+//
+// The full-bisection assumption mirrors the paper (§1, §7): the switch is
+// never the bottleneck, only per-machine NICs are. An optional incast model
+// adds a retransmission penalty when a downlink's backlog exceeds a buffer
+// threshold; the paper observes this regime past the batching sweet spot
+// (§10.1, Fig. 16).
+#ifndef CHAOS_NET_NETWORK_H_
+#define CHAOS_NET_NETWORK_H_
+
+#include <any>
+#include <coroutine>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/resource.h"
+#include "sim/simulator.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+#include "sim/time.h"
+#include "util/common.h"
+
+namespace chaos {
+
+struct NetworkConfig {
+  double nic_bandwidth_bps = 5e9;            // bytes/sec; 40 GigE ~ 5 GB/s
+  TimeNs one_way_latency = 50 * kNsPerUs;    // propagation + stack, one way
+  TimeNs local_latency = 5 * kNsPerUs;       // same-machine IPC cost
+  bool model_incast = true;
+  TimeNs incast_backlog_threshold = 500 * kNsPerUs;  // downlink backlog -> drops
+  TimeNs incast_penalty = kNsPerMs;                  // retransmission delay
+
+  // The paper's cluster: 40 GigE links, full bisection (§8).
+  static NetworkConfig FortyGigE();
+  // The slow-network experiment (§9.4, Fig. 12).
+  static NetworkConfig OneGigE();
+};
+
+// Well-known message bus services (mailboxes) per machine.
+enum Service : int {
+  kStorageService = 0,
+  kComputeService = 1,
+  kControlService = 2,
+  kDirectoryService = 3,
+  kNumServices = 4,
+};
+
+struct Message {
+  MachineId src = 0;
+  MachineId dst = 0;
+  int service = kStorageService;
+  uint64_t rpc_id = 0;  // nonzero when part of an RPC exchange
+  bool is_response = false;
+  uint32_t type = 0;        // protocol discriminator, see protocol headers
+  uint64_t wire_bytes = 0;  // modeled size on the wire
+  std::any body;
+};
+
+class Network {
+ public:
+  Network(Simulator* sim, int machines, const NetworkConfig& config);
+
+  // Time to push `bytes` through one NIC link.
+  TimeNs TxTime(uint64_t bytes) const {
+    return TransferTimeNs(bytes, config_.nic_bandwidth_bps);
+  }
+
+  FifoResource& Uplink(MachineId m) { return *links_[Index(m)].up; }
+  FifoResource& Downlink(MachineId m) { return *links_[Index(m)].down; }
+
+  const NetworkConfig& config() const { return config_; }
+  int machines() const { return machines_; }
+  Simulator* sim() const { return sim_; }
+
+  uint64_t bytes_sent(MachineId m) const { return links_[Index(m)].bytes_sent; }
+  uint64_t bytes_received(MachineId m) const { return links_[Index(m)].bytes_received; }
+  uint64_t total_bytes() const;
+  uint64_t incast_events() const { return incast_events_; }
+
+  // Accounting hooks used by the bus.
+  void NoteSent(MachineId m, uint64_t bytes) { links_[Index(m)].bytes_sent += bytes; }
+  void NoteReceived(MachineId m, uint64_t bytes) { links_[Index(m)].bytes_received += bytes; }
+  void NoteIncast() { ++incast_events_; }
+
+ private:
+  struct Link {
+    std::unique_ptr<FifoResource> up;
+    std::unique_ptr<FifoResource> down;
+    uint64_t bytes_sent = 0;
+    uint64_t bytes_received = 0;
+  };
+
+  size_t Index(MachineId m) const {
+    CHAOS_CHECK(m >= 0 && m < machines_);
+    return static_cast<size_t>(m);
+  }
+
+  Simulator* sim_;
+  int machines_;
+  NetworkConfig config_;
+  std::vector<Link> links_;
+  uint64_t incast_events_ = 0;
+};
+
+// Message delivery and RPC correlation on top of Network.
+//
+// Send() returns once the message has left the sender's uplink; propagation
+// and the receiver's downlink are charged in the background, after which the
+// message lands in the destination mailbox (or resolves a pending RPC).
+class MessageBus {
+ public:
+  MessageBus(Simulator* sim, Network* network);
+
+  SimQueue<Message>& Inbox(MachineId machine, int service);
+
+  // Fire-and-forget variant; the transfer proceeds in the background.
+  void PostSend(Message m) { sim_->Spawn(Send(std::move(m))); }
+
+  Task<> Send(Message m);
+
+  // Sends `request` and completes with the matched response.
+  Task<Message> Call(Message request);
+
+  // Builds and sends the response for `request`. Fire-and-forget.
+  void PostReply(const Message& request, uint32_t type, uint64_t wire_bytes, std::any body);
+
+  uint64_t messages_delivered() const { return delivered_; }
+
+ private:
+  struct PendingCall {
+    std::coroutine_handle<> waiter;
+    Message response;
+    bool ready = false;
+  };
+
+  void Deliver(Message m);
+  internal::DetachedTask FinishRemote(Message m, TimeNs extra_latency);
+
+  Simulator* sim_;
+  Network* net_;
+  std::vector<std::unique_ptr<SimQueue<Message>>> inboxes_;  // machine * kNumServices
+  std::unordered_map<uint64_t, PendingCall*> pending_;
+  uint64_t next_rpc_id_ = 1;
+  uint64_t delivered_ = 0;
+};
+
+}  // namespace chaos
+
+#endif  // CHAOS_NET_NETWORK_H_

@@ -1,0 +1,61 @@
+#include "sim/event_queue.h"
+
+#include <utility>
+
+#include "util/common.h"
+
+namespace chaos {
+
+void EventQueue::Push(TimeNs time, std::function<void()> fn) {
+  heap_.push_back(Event{time, next_seq_++, std::move(fn)});
+  SiftUp(heap_.size() - 1);
+}
+
+EventQueue::Event EventQueue::Pop() {
+  CHAOS_CHECK(!heap_.empty());
+  Event top = std::move(heap_.front());
+  heap_.front() = std::move(heap_.back());
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    SiftDown(0);
+  }
+  return top;
+}
+
+const EventQueue::Event& EventQueue::Peek() const {
+  CHAOS_CHECK(!heap_.empty());
+  return heap_.front();
+}
+
+void EventQueue::SiftUp(size_t i) {
+  while (i > 0) {
+    const size_t parent = (i - 1) / 2;
+    if (!Earlier(heap_[i], heap_[parent])) {
+      break;
+    }
+    std::swap(heap_[i], heap_[parent]);
+    i = parent;
+  }
+}
+
+void EventQueue::SiftDown(size_t i) {
+  const size_t n = heap_.size();
+  while (true) {
+    const size_t left = 2 * i + 1;
+    const size_t right = 2 * i + 2;
+    size_t smallest = i;
+    if (left < n && Earlier(heap_[left], heap_[smallest])) {
+      smallest = left;
+    }
+    if (right < n && Earlier(heap_[right], heap_[smallest])) {
+      smallest = right;
+    }
+    if (smallest == i) {
+      return;
+    }
+    std::swap(heap_[i], heap_[smallest]);
+    i = smallest;
+  }
+}
+
+}  // namespace chaos

@@ -1,0 +1,44 @@
+// Deterministic event queue: events fire in (time, insertion sequence) order,
+// so simultaneous events run in the order they were scheduled.
+#ifndef CHAOS_SIM_EVENT_QUEUE_H_
+#define CHAOS_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace chaos {
+
+class EventQueue {
+ public:
+  struct Event {
+    TimeNs time = 0;
+    uint64_t seq = 0;
+    std::function<void()> fn;
+  };
+
+  void Push(TimeNs time, std::function<void()> fn);
+  // Removes and returns the earliest event. Queue must be non-empty.
+  Event Pop();
+  const Event& Peek() const;
+
+  bool empty() const { return heap_.empty(); }
+  size_t size() const { return heap_.size(); }
+  uint64_t total_pushed() const { return next_seq_; }
+
+ private:
+  static bool Earlier(const Event& a, const Event& b) {
+    return a.time < b.time || (a.time == b.time && a.seq < b.seq);
+  }
+  void SiftUp(size_t i);
+  void SiftDown(size_t i);
+
+  std::vector<Event> heap_;  // binary min-heap by (time, seq)
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace chaos
+
+#endif  // CHAOS_SIM_EVENT_QUEUE_H_

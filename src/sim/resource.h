@@ -1,0 +1,77 @@
+// FIFO bandwidth resources: the timing model for storage devices, NIC links
+// and per-machine CPUs.
+//
+// A FifoResource serves requests one at a time in arrival order. Issuing a
+// request at time t with service time s completes at
+//     done = max(t, busy_until) + s,
+// which models queueing delay behind earlier requests exactly the way the
+// paper's storage engine behaves ("a storage engine always serves a request
+// for a chunk in its entirety before serving the next request", §6.2).
+#ifndef CHAOS_SIM_RESOURCE_H_
+#define CHAOS_SIM_RESOURCE_H_
+
+#include <coroutine>
+#include <string>
+
+#include "sim/simulator.h"
+#include "sim/time.h"
+#include "util/common.h"
+
+namespace chaos {
+
+class FifoResource {
+ public:
+  FifoResource(Simulator* sim, std::string name) : sim_(sim), name_(std::move(name)) {}
+  FifoResource(const FifoResource&) = delete;
+  FifoResource& operator=(const FifoResource&) = delete;
+  FifoResource(FifoResource&&) = default;
+
+  // Awaitable: completes when the request has been fully serviced.
+  auto Acquire(TimeNs service) {
+    struct Awaiter {
+      FifoResource* res;
+      TimeNs service;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        const TimeNs done = res->Reserve(service);
+        res->sim_->PostAt(done, [h] { h.resume(); });
+      }
+      void await_resume() const noexcept {}
+    };
+    CHAOS_CHECK_GE(service, 0);
+    return Awaiter{this, service};
+  }
+
+  // Reserves a service slot without awaiting; returns the completion time.
+  // Used by fire-and-forget paths that schedule their own continuation.
+  TimeNs Reserve(TimeNs service) {
+    CHAOS_CHECK_GE(service, 0);
+    const TimeNs start = busy_until_ > sim_->now() ? busy_until_ : sim_->now();
+    const TimeNs done = start + service;
+    busy_until_ = done;
+    total_busy_ += service;
+    ++num_requests_;
+    return done;
+  }
+
+  // Queueing backlog at time `now` (0 when idle).
+  TimeNs Backlog(TimeNs now) const { return busy_until_ > now ? busy_until_ - now : 0; }
+
+  TimeNs busy_until() const { return busy_until_; }
+  // Total service time charged; busy fraction = total_busy / horizon.
+  TimeNs total_busy() const { return total_busy_; }
+  uint64_t num_requests() const { return num_requests_; }
+  const std::string& name() const { return name_; }
+  Simulator* sim() const { return sim_; }
+
+ private:
+  Simulator* sim_;
+  std::string name_;
+  TimeNs busy_until_ = 0;
+  TimeNs total_busy_ = 0;
+  uint64_t num_requests_ = 0;
+};
+
+}  // namespace chaos
+
+#endif  // CHAOS_SIM_RESOURCE_H_

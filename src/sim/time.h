@@ -1,0 +1,33 @@
+// Simulated time. All simulation timestamps are integer nanoseconds so that
+// event ordering is exact and runs are bit-reproducible.
+#ifndef CHAOS_SIM_TIME_H_
+#define CHAOS_SIM_TIME_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace chaos {
+
+using TimeNs = int64_t;
+
+constexpr TimeNs kNsPerUs = 1000;
+constexpr TimeNs kNsPerMs = 1000 * kNsPerUs;
+constexpr TimeNs kNsPerSec = 1000 * kNsPerMs;
+
+constexpr double ToSeconds(TimeNs t) { return static_cast<double>(t) / 1e9; }
+
+constexpr TimeNs SecondsToNs(double s) { return static_cast<TimeNs>(s * 1e9); }
+
+// Time to move `bytes` at `bytes_per_sec`, rounded up to whole nanoseconds so
+// that nonzero transfers always take nonzero time.
+inline TimeNs TransferTimeNs(uint64_t bytes, double bytes_per_sec) {
+  if (bytes == 0 || bytes_per_sec <= 0.0) {
+    return 0;
+  }
+  const double ns = static_cast<double>(bytes) * 1e9 / bytes_per_sec;
+  return static_cast<TimeNs>(std::ceil(ns));
+}
+
+}  // namespace chaos
+
+#endif  // CHAOS_SIM_TIME_H_

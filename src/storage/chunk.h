@@ -1,0 +1,110 @@
+// Chunks: the unit of storage, distribution and stealing (paper §6.2).
+//
+// A chunk couples a real payload (a contiguous array of POD records, shared
+// and immutable once stored) with the size it is modeled to occupy on
+// storage and on the wire. Payload bytes are what the algorithms compute on;
+// model_bytes is what the simulator charges devices and NICs for, using the
+// paper's compact/non-compact on-disk record sizes rather than C++ struct
+// sizes.
+#ifndef CHAOS_STORAGE_CHUNK_H_
+#define CHAOS_STORAGE_CHUNK_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "util/common.h"
+#include "util/rng.h"
+
+namespace chaos {
+
+// The named data sets Chaos keeps per streaming partition (paper §6.1), plus
+// the raw input and checkpoint sets.
+enum class SetKind : uint8_t {
+  kInput = 0,        // unsorted input edge list (pre-processing input)
+  kEdges = 1,        // partitioned edge set, re-read every scatter epoch
+  kUpdatesEven = 2,  // update set for even iterations
+  kUpdatesOdd = 3,   // update set for odd iterations
+  kVertices = 4,     // vertex set, indexed access
+  kCheckpointA = 5,  // 2-phase checkpoint, side A
+  kCheckpointB = 6,  // 2-phase checkpoint, side B
+  kDegrees = 7,      // degree-count updates produced during pre-processing
+};
+
+const char* SetKindName(SetKind kind);
+
+// Indexed kinds are addressed by chunk index (hash-placed, overwritable);
+// sequential kinds are append-only pools drained once per epoch.
+constexpr bool IsIndexedKind(SetKind kind) {
+  return kind == SetKind::kVertices || kind == SetKind::kCheckpointA ||
+         kind == SetKind::kCheckpointB;
+}
+
+// Update-set parity for a given iteration (scatter of iteration i writes the
+// set that gather of iteration i reads; gather/apply emissions write the
+// other one, consumed by gather of iteration i+1).
+inline SetKind UpdatesFor(uint64_t iteration) {
+  return (iteration % 2 == 0) ? SetKind::kUpdatesEven : SetKind::kUpdatesOdd;
+}
+
+struct SetId {
+  PartitionId partition = 0;
+  SetKind kind = SetKind::kInput;
+
+  friend bool operator==(const SetId& a, const SetId& b) {
+    return a.partition == b.partition && a.kind == b.kind;
+  }
+};
+
+struct SetIdHash {
+  size_t operator()(const SetId& id) const {
+    return static_cast<size_t>(
+        HashCombine(id.partition, static_cast<uint64_t>(id.kind) + 0x9e37));
+  }
+};
+
+std::string SetIdName(const SetId& id);
+
+struct Chunk {
+  uint32_t index = 0;          // unique within its set
+  uint64_t model_bytes = 0;    // modeled storage/wire footprint
+  uint32_t count = 0;          // number of records in the payload
+  uint64_t payload_bytes = 0;  // in-memory byte length of the payload array
+  uint64_t spill_id = 0;       // engine-assigned unique id for file spilling
+  std::shared_ptr<const void> data;  // contiguous array of `count` records
+};
+
+// Builds a chunk from a typed record vector. The vector is moved to shared
+// storage; readers view it zero-copy through ChunkSpan<T>().
+template <typename T>
+Chunk MakeChunk(uint32_t index, uint64_t model_bytes, std::vector<T> records) {
+  static_assert(std::is_trivially_copyable_v<T>, "chunk records must be POD");
+  Chunk c;
+  c.index = index;
+  c.model_bytes = model_bytes;
+  c.count = static_cast<uint32_t>(records.size());
+  c.payload_bytes = records.size() * sizeof(T);
+  auto holder = std::make_shared<std::vector<T>>(std::move(records));
+  c.data = std::shared_ptr<const void>(holder, holder->data());
+  return c;
+}
+
+// Zero-copy typed view of a chunk payload. The caller must know the record
+// type from the set kind (enforced by protocol, checked by tests).
+template <typename T>
+std::span<const T> ChunkSpan(const Chunk& c) {
+  static_assert(std::is_trivially_copyable_v<T>, "chunk records must be POD");
+  if (c.count == 0) {
+    return {};
+  }
+  CHAOS_CHECK(c.data != nullptr);
+  return std::span<const T>(static_cast<const T*>(c.data.get()), c.count);
+}
+
+}  // namespace chaos
+
+#endif  // CHAOS_STORAGE_CHUNK_H_

@@ -1,0 +1,75 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+
+#include "util/common.h"
+
+namespace chaos {
+namespace {
+
+std::atomic<int> g_min_level{static_cast<int>(LogLevel::kWarning)};
+std::atomic<uint64_t> g_counts[5];
+std::mutex g_log_mutex;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_min_level.store(static_cast<int>(level)); }
+
+LogLevel GetLogLevel() { return static_cast<LogLevel>(g_min_level.load()); }
+
+uint64_t LogCountForLevel(LogLevel level) {
+  const int idx = static_cast<int>(level);
+  CHAOS_CHECK(idx >= 0 && idx < 5);
+  return g_counts[idx].load();
+}
+
+void LogMessage(LogLevel level, const char* file, int line, const char* fmt, ...) {
+  const int idx = static_cast<int>(level);
+  if (idx >= 0 && idx < 5) {
+    g_counts[idx].fetch_add(1);
+  }
+  if (idx < g_min_level.load()) {
+    return;
+  }
+  char buffer[2048];
+  va_list args;
+  va_start(args, fmt);
+  vsnprintf(buffer, sizeof(buffer), fmt, args);
+  va_end(args);
+  std::lock_guard<std::mutex> lock(g_log_mutex);
+  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), Basename(file), line, buffer);
+}
+
+[[noreturn]] void CheckFailure(const char* file, int line, const char* expr,
+                               const std::string& msg) {
+  std::fprintf(stderr, "[FATAL %s:%d] CHECK failed: %s %s\n", Basename(file), line, expr,
+               msg.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace chaos

@@ -1,0 +1,42 @@
+// Minimal leveled logging with printf-style formatting.
+//
+// Chaos simulations run in a single thread, but logging is guarded by a mutex
+// anyway so that multi-threaded test harnesses can share it safely.
+#ifndef CHAOS_UTIL_LOGGING_H_
+#define CHAOS_UTIL_LOGGING_H_
+
+#include <cstdarg>
+#include <string>
+
+namespace chaos {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+// Sets the minimum level that is emitted. Default: kWarning (quiet for tests
+// and benches; examples raise it to kInfo).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// Emits one log line if `level` is at or above the configured minimum.
+void LogMessage(LogLevel level, const char* file, int line, const char* fmt, ...)
+    __attribute__((format(printf, 4, 5)));
+
+// Number of messages emitted since process start, per level; used by tests.
+uint64_t LogCountForLevel(LogLevel level);
+
+#define CHAOS_LOG(level, ...) \
+  ::chaos::LogMessage((level), __FILE__, __LINE__, __VA_ARGS__)
+#define CHAOS_LOG_DEBUG(...) CHAOS_LOG(::chaos::LogLevel::kDebug, __VA_ARGS__)
+#define CHAOS_LOG_INFO(...) CHAOS_LOG(::chaos::LogLevel::kInfo, __VA_ARGS__)
+#define CHAOS_LOG_WARN(...) CHAOS_LOG(::chaos::LogLevel::kWarning, __VA_ARGS__)
+#define CHAOS_LOG_ERROR(...) CHAOS_LOG(::chaos::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace chaos
+
+#endif  // CHAOS_UTIL_LOGGING_H_

@@ -1,0 +1,161 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/common.h"
+
+namespace chaos {
+
+void RunningStat::Add(double x) {
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void RunningStat::Merge(const RunningStat& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto n1 = static_cast<double>(count_);
+  const auto n2 = static_cast<double>(other.count_);
+  const double n = n1 + n2;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+  mean_ = (n1 * mean_ + n2 * other.mean_) / n;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStat::variance() const {
+  return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+Histogram::Histogram(std::vector<double> upper_bounds) : bounds_(std::move(upper_bounds)) {
+  CHAOS_CHECK(!bounds_.empty());
+  CHAOS_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()));
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::Add(double x) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
+  counts_[static_cast<size_t>(it - bounds_.begin())]++;
+  ++total_;
+}
+
+uint64_t Histogram::BucketCount(size_t i) const {
+  CHAOS_CHECK_LT(i, counts_.size());
+  return counts_[i];
+}
+
+double Histogram::Quantile(double q) const {
+  CHAOS_CHECK(q >= 0.0 && q <= 1.0);
+  if (total_ == 0) {
+    return 0.0;
+  }
+  const double target = q * static_cast<double>(total_);
+  double cumulative = 0.0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    const double next = cumulative + static_cast<double>(counts_[i]);
+    if (next >= target) {
+      const double lo = i == 0 ? 0.0 : bounds_[i - 1];
+      const double hi = i < bounds_.size() ? bounds_[i] : bounds_.back() * 2.0;
+      const double frac =
+          counts_[i] == 0 ? 0.0 : (target - cumulative) / static_cast<double>(counts_[i]);
+      return lo + frac * (hi - lo);
+    }
+    cumulative = next;
+  }
+  return bounds_.back();
+}
+
+std::string Histogram::ToString() const {
+  std::string out;
+  char line[128];
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    if (i < bounds_.size()) {
+      std::snprintf(line, sizeof(line), "<=%g: %llu\n", bounds_[i],
+                    static_cast<unsigned long long>(counts_[i]));
+    } else {
+      std::snprintf(line, sizeof(line), ">%g: %llu\n", bounds_.back(),
+                    static_cast<unsigned long long>(counts_[i]));
+    }
+    out += line;
+  }
+  return out;
+}
+
+double ExactQuantile(std::vector<double> samples, double q) {
+  CHAOS_CHECK(!samples.empty());
+  CHAOS_CHECK(q >= 0.0 && q <= 1.0);
+  std::sort(samples.begin(), samples.end());
+  const double pos = q * static_cast<double>(samples.size() - 1);
+  const auto lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+}
+
+std::string FormatBytes(uint64_t bytes) {
+  const char* units[] = {"B", "KiB", "MiB", "GiB", "TiB", "PiB"};
+  double value = static_cast<double>(bytes);
+  size_t unit = 0;
+  while (value >= 1024.0 && unit + 1 < sizeof(units) / sizeof(units[0])) {
+    value /= 1024.0;
+    ++unit;
+  }
+  char buffer[64];
+  if (unit == 0) {
+    std::snprintf(buffer, sizeof(buffer), "%llu B", static_cast<unsigned long long>(bytes));
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.2f %s", value, units[unit]);
+  }
+  return buffer;
+}
+
+std::string FormatSeconds(double seconds) {
+  char buffer[64];
+  if (seconds < 1e-6) {
+    std::snprintf(buffer, sizeof(buffer), "%.0f ns", seconds * 1e9);
+  } else if (seconds < 1e-3) {
+    std::snprintf(buffer, sizeof(buffer), "%.2f us", seconds * 1e6);
+  } else if (seconds < 1.0) {
+    std::snprintf(buffer, sizeof(buffer), "%.2f ms", seconds * 1e3);
+  } else if (seconds < 120.0) {
+    std::snprintf(buffer, sizeof(buffer), "%.2f s", seconds);
+  } else if (seconds < 7200.0) {
+    std::snprintf(buffer, sizeof(buffer), "%.1f min", seconds / 60.0);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.2f h", seconds / 3600.0);
+  }
+  return buffer;
+}
+
+std::string FormatBandwidth(double bytes_per_second) {
+  char buffer[64];
+  if (bytes_per_second >= 1e9) {
+    std::snprintf(buffer, sizeof(buffer), "%.2f GB/s", bytes_per_second / 1e9);
+  } else if (bytes_per_second >= 1e6) {
+    std::snprintf(buffer, sizeof(buffer), "%.2f MB/s", bytes_per_second / 1e6);
+  } else if (bytes_per_second >= 1e3) {
+    std::snprintf(buffer, sizeof(buffer), "%.2f KB/s", bytes_per_second / 1e3);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.2f B/s", bytes_per_second);
+  }
+  return buffer;
+}
+
+}  // namespace chaos

@@ -1,0 +1,362 @@
+// Core engine integration tests: partitioning math, the batching theory,
+// and full cluster runs of basic GAS programs validated against in-memory
+// references across machine counts, placements and stealing settings.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "algorithms/basic.h"
+#include "core/cluster.h"
+#include "graph/generators.h"
+#include "graph/ref/reference.h"
+
+namespace chaos {
+namespace {
+
+// ------------------------------------------------------------ partitioning
+
+TEST(PartitioningTest, MultipleOfMachinesAndFitsBudget) {
+  // 10000 vertices, 16 B per vertex, 20 KB budget -> >= 8 partitions, and
+  // the count must be a multiple of 4.
+  auto parts = Partitioning::Compute(10000, 4, 16, 20000);
+  EXPECT_EQ(parts.num_partitions() % 4, 0u);
+  EXPECT_LE(parts.verts_per_partition() * 16, 20000u);
+  // Smallest such multiple: 10000*16/20000 = 8 partitions exactly.
+  EXPECT_EQ(parts.num_partitions(), 8u);
+}
+
+TEST(PartitioningTest, RangesCoverAllVerticesOnce) {
+  auto parts = Partitioning::Compute(1000, 3, 8, 1024);
+  uint64_t total = 0;
+  for (PartitionId p = 0; p < parts.num_partitions(); ++p) {
+    total += parts.Count(p);
+    if (p > 0) {
+      EXPECT_EQ(parts.Base(p), parts.Base(p - 1) + parts.Count(p - 1));
+    }
+  }
+  EXPECT_EQ(total, 1000u);
+  for (VertexId v = 0; v < 1000; v += 7) {
+    const PartitionId p = parts.PartitionOf(v);
+    EXPECT_GE(v, parts.Base(p));
+    EXPECT_LT(v, parts.Base(p) + parts.Count(p));
+  }
+}
+
+TEST(PartitioningTest, MastersRoundRobin) {
+  auto parts = Partitioning::WithPartitions(100, 4, 12);
+  for (PartitionId p = 0; p < 12; ++p) {
+    EXPECT_EQ(parts.Master(p), static_cast<MachineId>(p % 4));
+  }
+  EXPECT_EQ(parts.partitions_per_machine(), 3u);
+}
+
+TEST(PartitioningTest, SingleVertexBudgetAborts) {
+  EXPECT_DEATH(Partitioning::Compute(100, 1, 2000, 1000), "memory_budget");
+}
+
+// ---------------------------------------------------------- batching math
+
+TEST(BatchingTheoryTest, UtilizationFormula) {
+  // rho(m, k) = 1 - (1 - k/m)^m; spot values from the paper's Fig. 5.
+  EXPECT_DOUBLE_EQ(TheoreticalUtilization(1, 1), 1.0);
+  EXPECT_NEAR(TheoreticalUtilization(32, 1), 1.0 - std::pow(1.0 - 1.0 / 32, 32), 1e-12);
+  EXPECT_GT(TheoreticalUtilization(32, 5), 0.993);  // paper: k=5 -> >= 99.3%
+  EXPECT_NEAR(UtilizationLowerBound(5), 1.0 - std::exp(-5.0), 1e-12);
+  // Monotone in k, decreasing in m toward the bound.
+  for (int k = 1; k <= 5; ++k) {
+    EXPECT_GT(TheoreticalUtilization(16, k + 1), TheoreticalUtilization(16, k));
+    EXPECT_GT(TheoreticalUtilization(8, k), TheoreticalUtilization(32, k));
+    EXPECT_GT(TheoreticalUtilization(32, k), UtilizationLowerBound(k));
+  }
+}
+
+TEST(ConfigTest, FetchWindowAndStealing) {
+  ClusterConfig cfg;
+  cfg.batch_k = 5;
+  cfg.phi = 2.0;
+  EXPECT_EQ(cfg.fetch_window(), 10);
+  cfg.alpha = 0.0;
+  EXPECT_FALSE(cfg.stealing_enabled());
+  cfg.alpha = 1.0;
+  EXPECT_TRUE(cfg.stealing_enabled());
+}
+
+// --------------------------------------------------------------- clusters
+
+ClusterConfig SmallConfig(int machines) {
+  ClusterConfig cfg;
+  cfg.machines = machines;
+  cfg.memory_budget_bytes = 4 << 10;  // force several partitions per machine
+  cfg.chunk_bytes = 2 << 10;          // many small chunks -> stealing units
+  cfg.seed = 42;
+  return cfg;
+}
+
+InputGraph TestGraph(uint64_t seed = 7) {
+  RmatOptions opt;
+  opt.scale = 9;  // 512 vertices, 8192 edges
+  opt.edges_per_vertex = 16;
+  opt.seed = seed;
+  return GenerateRmat(opt);
+}
+
+TEST(ClusterPageRankTest, MatchesReferenceOnOneMachine) {
+  InputGraph g = TestGraph();
+  Cluster<PageRankProgram> cluster(SmallConfig(1), PageRankProgram(5));
+  auto result = cluster.Run(g);
+  EXPECT_EQ(result.supersteps, 5u);
+  EXPECT_FALSE(result.crashed);
+  auto expect = ref::PageRank(g, 5);
+  ASSERT_EQ(result.values.size(), expect.size());
+  for (size_t v = 0; v < expect.size(); ++v) {
+    EXPECT_NEAR(result.values[v], expect[v], 1e-3 * (1.0 + std::abs(expect[v])))
+        << "vertex " << v;
+  }
+  EXPECT_GT(result.metrics.total_time, 0);
+  EXPECT_GT(result.metrics.StorageBytesMoved(), 0u);
+}
+
+TEST(ClusterPageRankTest, MatchesReferenceAcrossMachineCounts) {
+  InputGraph g = TestGraph();
+  auto expect = ref::PageRank(g, 5);
+  for (const int machines : {2, 4, 8}) {
+    Cluster<PageRankProgram> cluster(SmallConfig(machines), PageRankProgram(5));
+    auto result = cluster.Run(g);
+    ASSERT_EQ(result.values.size(), expect.size());
+    for (size_t v = 0; v < expect.size(); ++v) {
+      ASSERT_NEAR(result.values[v], expect[v], 1e-3 * (1.0 + std::abs(expect[v])))
+          << "machines=" << machines << " vertex " << v;
+    }
+  }
+}
+
+TEST(ClusterBfsTest, MatchesReferenceUndirected) {
+  InputGraph g = MakeUndirected(TestGraph(11));
+  auto expect = ref::BfsDepths(g, 0);
+  for (const int machines : {1, 4}) {
+    Cluster<BfsProgram> cluster(SmallConfig(machines), BfsProgram(0));
+    auto result = cluster.Run(g);
+    for (size_t v = 0; v < expect.size(); ++v) {
+      ASSERT_DOUBLE_EQ(result.values[v], static_cast<double>(expect[v]))
+          << "machines=" << machines << " vertex " << v;
+    }
+  }
+}
+
+TEST(ClusterWccTest, MatchesUnionFind) {
+  // Use a sparser graph so several components exist.
+  InputGraph g = MakeUndirected(GenerateUniformRandom(600, 500, false, 13));
+  auto expect = ref::ComponentLabels(g);
+  Cluster<WccProgram> cluster(SmallConfig(4), WccProgram{});
+  auto result = cluster.Run(g);
+  for (size_t v = 0; v < expect.size(); ++v) {
+    ASSERT_DOUBLE_EQ(result.values[v], static_cast<double>(expect[v])) << "vertex " << v;
+  }
+}
+
+TEST(ClusterSsspTest, MatchesDijkstra) {
+  RmatOptions opt;
+  opt.scale = 8;
+  opt.weighted = true;
+  opt.seed = 17;
+  InputGraph g = MakeUndirected(GenerateRmat(opt));
+  auto expect = ref::DijkstraDistances(g, 3);
+  Cluster<SsspProgram> cluster(SmallConfig(4), SsspProgram(3));
+  auto result = cluster.Run(g);
+  for (size_t v = 0; v < expect.size(); ++v) {
+    if (std::isinf(expect[v])) {
+      ASSERT_TRUE(std::isinf(result.values[v])) << "vertex " << v;
+    } else {
+      ASSERT_NEAR(result.values[v], expect[v], 1e-2) << "vertex " << v;
+    }
+  }
+}
+
+TEST(ClusterSpmvTest, MatchesReference) {
+  RmatOptions opt;
+  opt.scale = 8;
+  opt.weighted = true;
+  opt.seed = 19;
+  InputGraph g = GenerateRmat(opt);
+  std::vector<double> x(g.num_vertices);
+  for (VertexId v = 0; v < g.num_vertices; ++v) {
+    x[v] = SpmvProgram::InputVector(v);
+  }
+  auto expect = ref::SpMV(g, x);
+  Cluster<SpmvProgram> cluster(SmallConfig(2), SpmvProgram{});
+  auto result = cluster.Run(g);
+  EXPECT_EQ(result.supersteps, 1u);
+  for (size_t v = 0; v < expect.size(); ++v) {
+    ASSERT_NEAR(result.values[v], expect[v], 1e-2 * (1.0 + std::abs(expect[v])))
+        << "vertex " << v;
+  }
+}
+
+TEST(ClusterConductanceTest, MatchesReference) {
+  InputGraph g = TestGraph(23);
+  std::vector<uint8_t> member(g.num_vertices);
+  for (VertexId v = 0; v < g.num_vertices; ++v) {
+    member[v] = ConductanceProgram::InSubset(v) ? 1 : 0;
+  }
+  const double expect = ref::Conductance(g, member);
+  Cluster<ConductanceProgram> cluster(SmallConfig(4), ConductanceProgram{});
+  auto result = cluster.Run(g);
+  EXPECT_EQ(result.supersteps, 1u);
+  EXPECT_NEAR(result.final_global.conductance, expect, 1e-12);
+}
+
+TEST(ClusterBpTest, MatchesDenseReference) {
+  RmatOptions opt;
+  opt.scale = 8;
+  opt.weighted = true;
+  opt.seed = 29;
+  InputGraph g = GenerateRmat(opt);
+  std::vector<double> priors(g.num_vertices);
+  for (VertexId v = 0; v < g.num_vertices; ++v) {
+    priors[v] = static_cast<double>(BpProgram::Prior(v));
+  }
+  auto expect = ref::BeliefPropagation(g, priors, 4, 0.5);
+  Cluster<BpProgram> cluster(SmallConfig(2), BpProgram(4, 0.5f));
+  auto result = cluster.Run(g);
+  for (size_t v = 0; v < expect.size(); ++v) {
+    ASSERT_NEAR(result.values[v], expect[v], 1e-2 * (1.0 + std::abs(expect[v])))
+        << "vertex " << v;
+  }
+}
+
+// Order-independence property (§2): the same run with different stealing
+// bias, placement or seed produces the same answer.
+TEST(ClusterPropertyTest, ResultInvariantUnderStealingAndPlacement) {
+  InputGraph g = MakeUndirected(TestGraph(31));
+  auto expect = ref::BfsDepths(g, 0);
+  for (const double alpha : {0.0, 1.0, std::numeric_limits<double>::infinity()}) {
+    ClusterConfig cfg = SmallConfig(4);
+    cfg.alpha = alpha;
+    Cluster<BfsProgram> cluster(cfg, BfsProgram(0));
+    auto result = cluster.Run(g);
+    for (size_t v = 0; v < expect.size(); ++v) {
+      ASSERT_DOUBLE_EQ(result.values[v], static_cast<double>(expect[v]))
+          << "alpha=" << alpha << " vertex " << v;
+    }
+  }
+  for (const Placement placement :
+       {Placement::kLocalMaster, Placement::kCentralDirectory}) {
+    ClusterConfig cfg = SmallConfig(4);
+    cfg.placement = placement;
+    Cluster<BfsProgram> cluster(cfg, BfsProgram(0));
+    auto result = cluster.Run(g);
+    for (size_t v = 0; v < expect.size(); ++v) {
+      ASSERT_DOUBLE_EQ(result.values[v], static_cast<double>(expect[v]))
+          << "placement=" << static_cast<int>(placement) << " vertex " << v;
+    }
+  }
+}
+
+TEST(ClusterPropertyTest, DeterministicRuntimeForSameSeed) {
+  InputGraph g = TestGraph(37);
+  auto run = [&](uint64_t seed) {
+    ClusterConfig cfg = SmallConfig(4);
+    cfg.seed = seed;
+    Cluster<PageRankProgram> cluster(cfg, PageRankProgram(3));
+    return cluster.Run(g).metrics.total_time;
+  };
+  EXPECT_EQ(run(1), run(1));
+  EXPECT_NE(run(1), run(2));  // placement randomness shifts timing
+}
+
+TEST(ClusterPropertyTest, ChunkSizeDoesNotChangeResults) {
+  InputGraph g = TestGraph(41);
+  auto expect = ref::PageRank(g, 3);
+  for (const uint64_t chunk : {512u, 4096u, 65536u}) {
+    ClusterConfig cfg = SmallConfig(2);
+    cfg.chunk_bytes = chunk;
+    Cluster<PageRankProgram> cluster(cfg, PageRankProgram(3));
+    auto result = cluster.Run(g);
+    for (size_t v = 0; v < expect.size(); ++v) {
+      ASSERT_NEAR(result.values[v], expect[v], 1e-3 * (1.0 + std::abs(expect[v])))
+          << "chunk=" << chunk << " vertex " << v;
+    }
+  }
+}
+
+TEST(ClusterMetricsTest, AccountingSane) {
+  InputGraph g = TestGraph(43);
+  Cluster<PageRankProgram> cluster(SmallConfig(4), PageRankProgram(3));
+  auto result = cluster.Run(g);
+  const RunMetrics& m = result.metrics;
+  EXPECT_EQ(m.machines.size(), 4u);
+  EXPECT_EQ(m.devices.size(), 4u);
+  EXPECT_GT(m.preprocess_time, 0);
+  EXPECT_LT(m.preprocess_time, m.total_time);
+  // All edges processed once per scatter superstep.
+  uint64_t edges = 0;
+  for (const auto& mm : m.machines) {
+    edges += mm.edges_processed;
+  }
+  EXPECT_EQ(edges, g.num_edges() * 3u);  // 3 supersteps (PR runs scatter each)
+  // Every update emitted is gathered exactly once.
+  uint64_t emitted = 0;
+  uint64_t gathered = 0;
+  for (const auto& mm : m.machines) {
+    emitted += mm.updates_emitted;
+    gathered += mm.updates_processed;
+  }
+  EXPECT_EQ(emitted, gathered);
+  // Device utilization within [0, 1]; some bytes on every device.
+  EXPECT_GT(m.MeanDeviceUtilization(), 0.0);
+  EXPECT_LE(m.MeanDeviceUtilization(), 1.0);
+  for (const auto& d : m.devices) {
+    EXPECT_GT(d.bytes_read + d.bytes_written, 0u);
+  }
+  EXPECT_GT(m.network_bytes, 0u);
+}
+
+TEST(ClusterMetricsTest, BreakdownBucketsCoverRuntime) {
+  InputGraph g = TestGraph(47);
+  Cluster<PageRankProgram> cluster(SmallConfig(4), PageRankProgram(3));
+  auto result = cluster.Run(g);
+  for (const auto& mm : result.metrics.machines) {
+    const TimeNs tracked = mm.TotalTracked();
+    EXPECT_GT(tracked, 0);
+    // Buckets are measured on the main engine coroutine; they may not sum
+    // exactly to wall time but must never exceed it (plus scheduling slop).
+    EXPECT_LE(tracked, result.metrics.total_time + kNsPerMs);
+  }
+}
+
+TEST(ClusterStealingTest, StealsHappenOnSkewedLoad) {
+  // Unpermuted RMAT concentrates edges at low vertex ids -> partition 0 is
+  // heavy -> other machines should steal.
+  RmatOptions opt;
+  opt.scale = 10;
+  opt.permute_ids = false;
+  opt.seed = 5;
+  InputGraph g = GenerateRmat(opt);
+  ClusterConfig cfg = SmallConfig(4);
+  Cluster<PageRankProgram> cluster(cfg, PageRankProgram(3));
+  auto result = cluster.Run(g);
+  uint64_t steals = 0;
+  for (const auto& mm : result.metrics.machines) {
+    steals += mm.steals_worked;
+  }
+  EXPECT_GT(steals, 0u);
+}
+
+TEST(ClusterStealingTest, AlphaZeroDisablesStealing) {
+  RmatOptions opt;
+  opt.scale = 10;
+  opt.permute_ids = false;
+  opt.seed = 5;
+  InputGraph g = GenerateRmat(opt);
+  ClusterConfig cfg = SmallConfig(4);
+  cfg.alpha = 0.0;
+  Cluster<PageRankProgram> cluster(cfg, PageRankProgram(3));
+  auto result = cluster.Run(g);
+  for (const auto& mm : result.metrics.machines) {
+    EXPECT_EQ(mm.steals_worked, 0u);
+    EXPECT_EQ(mm.bucket(Bucket::kGpSteal), 0);
+  }
+}
+
+}  // namespace
+}  // namespace chaos

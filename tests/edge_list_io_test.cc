@@ -1,0 +1,140 @@
+// Tests for edge-list file I/O: binary and text round-trips, format
+// detection, corruption handling.
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "graph/edge_list_io.h"
+#include "graph/generators.h"
+
+namespace chaos {
+namespace {
+
+std::string TempPath(const std::string& name) { return ::testing::TempDir() + "/" + name; }
+
+TEST(EdgeListBinaryTest, RoundTripUnweighted) {
+  InputGraph g = GenerateUniformRandom(500, 2000, false, 7);
+  const std::string path = TempPath("roundtrip_unweighted.bin");
+  std::string error;
+  ASSERT_TRUE(SaveEdgeListBinary(g, path, &error)) << error;
+  auto loaded = LoadEdgeListBinary(path, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(loaded->num_vertices, g.num_vertices);
+  EXPECT_FALSE(loaded->weighted);
+  ASSERT_EQ(loaded->edges.size(), g.edges.size());
+  for (size_t i = 0; i < g.edges.size(); ++i) {
+    EXPECT_EQ(loaded->edges[i].src, g.edges[i].src);
+    EXPECT_EQ(loaded->edges[i].dst, g.edges[i].dst);
+  }
+}
+
+TEST(EdgeListBinaryTest, RoundTripWeighted) {
+  InputGraph g = GenerateUniformRandom(300, 1000, true, 9);
+  const std::string path = TempPath("roundtrip_weighted.bin");
+  std::string error;
+  ASSERT_TRUE(SaveEdgeListBinary(g, path, &error)) << error;
+  auto loaded = LoadEdgeListBinary(path, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_TRUE(loaded->weighted);
+  for (size_t i = 0; i < g.edges.size(); ++i) {
+    EXPECT_FLOAT_EQ(loaded->edges[i].weight, g.edges[i].weight);
+  }
+}
+
+TEST(EdgeListBinaryTest, CompactFormatSizeOnDisk) {
+  InputGraph g = GenerateUniformRandom(100, 1000, false, 11);
+  const std::string path = TempPath("compact_size.bin");
+  std::string error;
+  ASSERT_TRUE(SaveEdgeListBinary(g, path, &error));
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  // Header (32) + 1000 edges x 8 bytes (compact unweighted, paper §8).
+  EXPECT_EQ(static_cast<uint64_t>(in.tellg()), 32u + 1000u * 8u);
+}
+
+TEST(EdgeListBinaryTest, RejectsGarbage) {
+  const std::string path = TempPath("garbage.bin");
+  std::ofstream(path) << "this is not an edge list";
+  std::string error;
+  EXPECT_FALSE(LoadEdgeListBinary(path, &error).has_value());
+  EXPECT_NE(error.find("not a Chaos edge-list"), std::string::npos);
+}
+
+TEST(EdgeListBinaryTest, RejectsTruncated) {
+  InputGraph g = GenerateUniformRandom(100, 100, false, 13);
+  const std::string path = TempPath("truncated.bin");
+  std::string error;
+  ASSERT_TRUE(SaveEdgeListBinary(g, path, &error));
+  // Chop the file mid-record.
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream(path, std::ios::binary | std::ios::trunc)
+      << bytes.substr(0, bytes.size() - 5);
+  EXPECT_FALSE(LoadEdgeListBinary(path, &error).has_value());
+  EXPECT_NE(error.find("truncated"), std::string::npos);
+}
+
+TEST(EdgeListBinaryTest, MissingFileReportsError) {
+  std::string error;
+  EXPECT_FALSE(LoadEdgeListBinary(TempPath("does_not_exist.bin"), &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(EdgeListTextTest, RoundTrip) {
+  InputGraph g = GenerateUniformRandom(200, 800, true, 15);
+  const std::string path = TempPath("roundtrip.txt");
+  std::string error;
+  ASSERT_TRUE(SaveEdgeListText(g, path, &error)) << error;
+  auto loaded = LoadEdgeListText(path, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_TRUE(loaded->weighted);
+  ASSERT_EQ(loaded->edges.size(), g.edges.size());
+  for (size_t i = 0; i < g.edges.size(); ++i) {
+    EXPECT_EQ(loaded->edges[i].src, g.edges[i].src);
+    EXPECT_EQ(loaded->edges[i].dst, g.edges[i].dst);
+    EXPECT_NEAR(loaded->edges[i].weight, g.edges[i].weight, 1e-4);
+  }
+}
+
+TEST(EdgeListTextTest, SnapStyleWithComments) {
+  const std::string path = TempPath("snap.txt");
+  std::ofstream(path) << "# Directed graph\n% another comment style\n0 1\n1 2\n\n2 0\n";
+  std::string error;
+  auto loaded = LoadEdgeListText(path, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(loaded->num_vertices, 3u);
+  EXPECT_EQ(loaded->edges.size(), 3u);
+  EXPECT_FALSE(loaded->weighted);
+}
+
+TEST(EdgeListTextTest, MixedWeightColumns) {
+  const std::string path = TempPath("mixed.txt");
+  std::ofstream(path) << "0 1 2.5\n1 2\n";
+  std::string error;
+  auto loaded = LoadEdgeListText(path, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_TRUE(loaded->weighted);  // any weighted line makes the graph weighted
+  EXPECT_FLOAT_EQ(loaded->edges[0].weight, 2.5f);
+  EXPECT_FLOAT_EQ(loaded->edges[1].weight, 1.0f);
+}
+
+TEST(EdgeListTextTest, MalformedLineReportsLineNumber) {
+  const std::string path = TempPath("bad.txt");
+  std::ofstream(path) << "0 1\nnot numbers\n";
+  std::string error;
+  EXPECT_FALSE(LoadEdgeListText(path, &error).has_value());
+  EXPECT_NE(error.find(":2:"), std::string::npos);
+}
+
+TEST(EdgeListTextTest, EmptyFileIsEmptyGraph) {
+  const std::string path = TempPath("empty.txt");
+  std::ofstream(path) << "# nothing here\n";
+  std::string error;
+  auto loaded = LoadEdgeListText(path, &error);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->num_vertices, 0u);
+  EXPECT_TRUE(loaded->edges.empty());
+}
+
+}  // namespace
+}  // namespace chaos

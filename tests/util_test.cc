@@ -1,0 +1,344 @@
+// Unit tests for src/util: rng, stats, options, logging, formatting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "util/common.h"
+#include "util/logging.h"
+#include "util/options.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace chaos {
+namespace {
+
+// ---------------------------------------------------------------- Rng
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    equal += a.Next() == b.Next() ? 1 : 0;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, ReseedRestartsStream) {
+  Rng a(7);
+  std::vector<uint64_t> first;
+  for (int i = 0; i < 16; ++i) {
+    first.push_back(a.Next());
+  }
+  a.Seed(7);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(a.Next(), first[static_cast<size_t>(i)]);
+  }
+}
+
+TEST(RngTest, BelowIsInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Below(17), 17u);
+  }
+}
+
+TEST(RngTest, BelowOneIsAlwaysZero) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.Below(1), 0u);
+  }
+}
+
+TEST(RngTest, BelowIsRoughlyUniform) {
+  Rng rng(11);
+  constexpr uint64_t kBuckets = 8;
+  constexpr int kSamples = 80000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kSamples; ++i) {
+    counts[rng.Below(kBuckets)]++;
+  }
+  const double expected = static_cast<double>(kSamples) / kBuckets;
+  for (const int c : counts) {
+    EXPECT_NEAR(c, expected, expected * 0.1);
+  }
+}
+
+TEST(RngTest, RangeInclusiveBounds) {
+  Rng rng(13);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const int64_t v = rng.Range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(17);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 20000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(19);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  auto sorted = v;
+  rng.Shuffle(v);
+  auto shuffled_sorted = v;
+  std::sort(shuffled_sorted.begin(), shuffled_sorted.end());
+  EXPECT_EQ(shuffled_sorted, sorted);
+}
+
+TEST(RngTest, PermutationCoversAllValues) {
+  Rng rng(23);
+  auto p = rng.Permutation(100);
+  std::set<uint32_t> seen(p.begin(), p.end());
+  EXPECT_EQ(seen.size(), 100u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 99u);
+}
+
+TEST(RngTest, Mix64IsStable) {
+  // Pinned values guard against accidental algorithm changes that would
+  // silently change chunk placement of existing runs.
+  EXPECT_EQ(Mix64(0), 16294208416658607535ULL);
+  EXPECT_NE(Mix64(1), Mix64(2));
+}
+
+TEST(RngTest, HashCombineOrderSensitive) {
+  EXPECT_NE(HashCombine(1, 2), HashCombine(2, 1));
+}
+
+// ---------------------------------------------------------------- stats
+
+TEST(RunningStatTest, BasicMoments) {
+  RunningStat s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.Add(x);
+  }
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 1e-3);  // sample stddev
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStatTest, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatTest, MergeMatchesSequential) {
+  RunningStat all, a, b;
+  Rng rng(29);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.NextDouble() * 100.0;
+    all.Add(x);
+    (i % 2 == 0 ? a : b).Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStatTest, MergeWithEmpty) {
+  RunningStat a, b;
+  a.Add(1.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  b.Merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.0);
+}
+
+TEST(HistogramTest, BucketAssignment) {
+  Histogram h({1.0, 10.0, 100.0});
+  h.Add(0.5);
+  h.Add(1.0);   // boundary goes to its bucket (<=)
+  h.Add(5.0);
+  h.Add(50.0);
+  h.Add(1000.0);  // overflow
+  EXPECT_EQ(h.BucketCount(0), 2u);
+  EXPECT_EQ(h.BucketCount(1), 1u);
+  EXPECT_EQ(h.BucketCount(2), 1u);
+  EXPECT_EQ(h.BucketCount(3), 1u);
+  EXPECT_EQ(h.TotalCount(), 5u);
+}
+
+TEST(HistogramTest, QuantileMonotone) {
+  Histogram h({1, 2, 4, 8, 16, 32});
+  Rng rng(31);
+  for (int i = 0; i < 10000; ++i) {
+    h.Add(rng.NextDouble() * 32.0);
+  }
+  double prev = 0.0;
+  for (double q = 0.1; q <= 0.95; q += 0.1) {
+    const double v = h.Quantile(q);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(ExactQuantileTest, KnownValues) {
+  std::vector<double> v{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(ExactQuantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(ExactQuantile(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(ExactQuantile(v, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(ExactQuantile(v, 0.25), 2.0);
+}
+
+TEST(FormatTest, Bytes) {
+  EXPECT_EQ(FormatBytes(512), "512 B");
+  EXPECT_EQ(FormatBytes(2048), "2.00 KiB");
+  EXPECT_EQ(FormatBytes(4ull << 20), "4.00 MiB");
+  EXPECT_EQ(FormatBytes(16ull << 40), "16.00 TiB");
+}
+
+TEST(FormatTest, Seconds) {
+  EXPECT_EQ(FormatSeconds(0.5e-9 * 500), "250 ns");
+  EXPECT_EQ(FormatSeconds(1.5), "1.50 s");
+  EXPECT_EQ(FormatSeconds(600.0), "10.0 min");
+  EXPECT_EQ(FormatSeconds(9.0 * 3600.0), "9.00 h");
+}
+
+TEST(FormatTest, Bandwidth) {
+  EXPECT_EQ(FormatBandwidth(400e6), "400.00 MB/s");
+  EXPECT_EQ(FormatBandwidth(7e9), "7.00 GB/s");
+}
+
+// ---------------------------------------------------------------- options
+
+TEST(OptionsTest, DefaultsAndTypes) {
+  Options opt;
+  opt.AddInt("machines", 4, "machine count");
+  opt.AddDouble("alpha", 1.0, "steal bias");
+  opt.AddBool("steal", true, "enable stealing");
+  opt.AddString("algo", "pagerank", "algorithm");
+  EXPECT_EQ(opt.GetInt("machines"), 4);
+  EXPECT_DOUBLE_EQ(opt.GetDouble("alpha"), 1.0);
+  EXPECT_TRUE(opt.GetBool("steal"));
+  EXPECT_EQ(opt.GetString("algo"), "pagerank");
+}
+
+TEST(OptionsTest, ParseEqualsForm) {
+  Options opt;
+  opt.AddInt("machines", 4, "");
+  opt.AddDouble("alpha", 1.0, "");
+  char arg0[] = "--machines=32";
+  char arg1[] = "--alpha=0.8";
+  char* argv[] = {arg0, arg1};
+  EXPECT_FALSE(opt.Parse(2, argv).has_value());
+  EXPECT_EQ(opt.GetInt("machines"), 32);
+  EXPECT_DOUBLE_EQ(opt.GetDouble("alpha"), 0.8);
+}
+
+TEST(OptionsTest, ParseSpaceForm) {
+  Options opt;
+  opt.AddString("algo", "", "");
+  char arg0[] = "--algo";
+  char arg1[] = "bfs";
+  char* argv[] = {arg0, arg1};
+  EXPECT_FALSE(opt.Parse(2, argv).has_value());
+  EXPECT_EQ(opt.GetString("algo"), "bfs");
+}
+
+TEST(OptionsTest, BoolForms) {
+  Options opt;
+  opt.AddBool("steal", false, "");
+  opt.AddBool("checkpoint", true, "");
+  char arg0[] = "--steal";
+  char arg1[] = "--no-checkpoint";
+  char* argv[] = {arg0, arg1};
+  EXPECT_FALSE(opt.Parse(2, argv).has_value());
+  EXPECT_TRUE(opt.GetBool("steal"));
+  EXPECT_FALSE(opt.GetBool("checkpoint"));
+}
+
+TEST(OptionsTest, UnknownFlagIsError) {
+  Options opt;
+  char arg0[] = "--bogus=1";
+  char* argv[] = {arg0};
+  const auto err = opt.Parse(1, argv);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("bogus"), std::string::npos);
+}
+
+TEST(OptionsTest, BadIntIsError) {
+  Options opt;
+  opt.AddInt("n", 0, "");
+  char arg0[] = "--n=abc";
+  char* argv[] = {arg0};
+  EXPECT_TRUE(opt.Parse(1, argv).has_value());
+}
+
+TEST(OptionsTest, HelpRequested) {
+  Options opt;
+  char arg0[] = "--help";
+  char* argv[] = {arg0};
+  EXPECT_FALSE(opt.Parse(1, argv).has_value());
+  EXPECT_TRUE(opt.help_requested());
+}
+
+TEST(OptionsTest, MissingValueIsError) {
+  Options opt;
+  opt.AddInt("n", 0, "");
+  char arg0[] = "--n";
+  char* argv[] = {arg0};
+  EXPECT_TRUE(opt.Parse(1, argv).has_value());
+}
+
+// ---------------------------------------------------------------- logging
+
+TEST(LoggingTest, LevelFiltering) {
+  const LogLevel old = GetLogLevel();
+  SetLogLevel(LogLevel::kOff);
+  const uint64_t before = LogCountForLevel(LogLevel::kInfo);
+  CHAOS_LOG_INFO("suppressed message %d", 1);
+  EXPECT_EQ(LogCountForLevel(LogLevel::kInfo), before + 1);  // counted even when suppressed
+  SetLogLevel(old);
+}
+
+TEST(CheckTest, PassingChecksDoNotAbort) {
+  CHAOS_CHECK(true);
+  CHAOS_CHECK_EQ(1, 1);
+  CHAOS_CHECK_LT(1, 2);
+  CHAOS_CHECK_GE(2, 2);
+}
+
+TEST(CheckDeathTest, FailingCheckAborts) {
+  EXPECT_DEATH({ CHAOS_CHECK_MSG(false, "boom"); }, "boom");
+}
+
+TEST(CheckDeathTest, FailingCheckOpPrintsValues) {
+  EXPECT_DEATH({ CHAOS_CHECK_EQ(1 + 1, 3); }, "lhs=2");
+}
+
+}  // namespace
+}  // namespace chaos
