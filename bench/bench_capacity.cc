@@ -12,7 +12,7 @@
 using namespace chaos;
 using namespace chaos::bench;
 
-int main(int argc, char** argv) {
+CHAOS_BENCH_MAIN(capacity, "Sec 9.3 capacity scaling toward the trillion-edge milestone") {
   Options opt;
   opt.AddInt("scale", 15, "RMAT scale (paper: 36)");
   opt.AddInt("machines", 32, "machines");

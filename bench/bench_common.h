@@ -123,6 +123,38 @@ inline std::vector<std::string> AllAlgorithmNames() {
   return names;
 }
 
+// ----------------------------------------------------------------------
+// Bench registry: every bench translation unit registers itself here and
+// the unified driver (bench_main.cc) dispatches by name, times each trial,
+// and emits the BENCH JSON schema (see README.md).
+using BenchFn = int (*)(int argc, char** argv);
+
+struct BenchEntry {
+  std::string name;
+  std::string description;
+  BenchFn fn;
+};
+
+inline std::vector<BenchEntry>& BenchRegistry() {
+  static std::vector<BenchEntry> registry;
+  return registry;
+}
+
+inline bool RegisterBench(const char* name, const char* description, BenchFn fn) {
+  BenchRegistry().push_back(BenchEntry{name, description, fn});
+  return true;
+}
+
+// Defines a bench entry point and registers it under `id`. Usage:
+//   CHAOS_BENCH_MAIN(fig8, "Figure 8: strong scaling") { ... return 0; }
+// The body receives (int argc, char** argv) with argv[0] set to the bench
+// name and driver-level flags already stripped.
+#define CHAOS_BENCH_MAIN(id, description)                                   \
+  static int ChaosBenchRun_##id(int argc, char** argv);                     \
+  static const bool chaos_bench_registered_##id [[maybe_unused]] =          \
+      ::chaos::bench::RegisterBench(#id, description, &ChaosBenchRun_##id); \
+  static int ChaosBenchRun_##id(int argc, char** argv)
+
 }  // namespace chaos::bench
 
 #endif  // CHAOS_BENCH_BENCH_COMMON_H_

@@ -7,7 +7,7 @@
 using namespace chaos;
 using namespace chaos::bench;
 
-int main(int argc, char** argv) {
+CHAOS_BENCH_MAIN(fig10, "Figure 10: sensitivity to CPU core count") {
   Options opt;
   opt.AddInt("base-scale", 10, "RMAT scale at m=1");
   opt.AddInt("seed", 1, "seed");

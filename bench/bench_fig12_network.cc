@@ -8,7 +8,7 @@
 using namespace chaos;
 using namespace chaos::bench;
 
-int main(int argc, char** argv) {
+CHAOS_BENCH_MAIN(fig12, "Figure 12: 40 GigE vs 1 GigE weak scaling") {
   Options opt;
   opt.AddInt("base-scale", 10, "RMAT scale at m=1");
   opt.AddInt("seed", 1, "seed");

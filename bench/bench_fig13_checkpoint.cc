@@ -6,7 +6,7 @@
 using namespace chaos;
 using namespace chaos::bench;
 
-int main(int argc, char** argv) {
+CHAOS_BENCH_MAIN(fig13, "Figure 13: checkpointing overhead") {
   Options opt;
   opt.AddInt("scale", 13, "RMAT scale (paper: 35)");
   opt.AddInt("machines", 8, "machines (paper: 32)");

@@ -7,7 +7,7 @@
 using namespace chaos;
 using namespace chaos::bench;
 
-int main(int argc, char** argv) {
+CHAOS_BENCH_MAIN(fig15, "Figure 15: randomized chunk placement vs centralized directory") {
   Options opt;
   opt.AddInt("base-scale", 10, "RMAT scale at m=1");
   opt.AddInt("seed", 1, "seed");

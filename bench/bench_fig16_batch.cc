@@ -8,7 +8,7 @@
 using namespace chaos;
 using namespace chaos::bench;
 
-int main(int argc, char** argv) {
+CHAOS_BENCH_MAIN(fig16, "Figure 16: runtime vs batching window phi*k") {
   Options opt;
   opt.AddInt("scale", 12, "RMAT scale (paper: 32)");
   opt.AddInt("machines", 16, "machines (paper: 32)");

@@ -7,7 +7,7 @@
 using namespace chaos;
 using namespace chaos::bench;
 
-int main(int argc, char** argv) {
+CHAOS_BENCH_MAIN(fig17, "Figure 17: runtime breakdown at the largest machine count") {
   Options opt;
   opt.AddInt("scale", 12, "RMAT scale (paper: 32)");
   opt.AddInt("machines", 16, "machines (paper: 32)");

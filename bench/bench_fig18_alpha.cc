@@ -9,7 +9,7 @@
 using namespace chaos;
 using namespace chaos::bench;
 
-int main(int argc, char** argv) {
+CHAOS_BENCH_MAIN(fig18, "Figure 18: work-stealing bias (alpha) sweep") {
   Options opt;
   opt.AddInt("scale", 12, "RMAT scale (paper: 32)");
   opt.AddInt("machines", 16, "machines (paper: 32)");

@@ -8,7 +8,7 @@
 using namespace chaos;
 using namespace chaos::bench;
 
-int main(int argc, char** argv) {
+CHAOS_BENCH_MAIN(fig19, "Figure 19: Chaos vs a Giraph-like static-placement system") {
   Options opt;
   opt.AddInt("scale", 12, "RMAT scale (paper: 27)");
   opt.AddInt("seed", 1, "seed");

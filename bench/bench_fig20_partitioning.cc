@@ -10,7 +10,7 @@
 using namespace chaos;
 using namespace chaos::bench;
 
-int main(int argc, char** argv) {
+CHAOS_BENCH_MAIN(fig20, "Figure 20: dynamic load balancing vs upfront partitioning") {
   Options opt;
   opt.AddInt("scale", 12, "RMAT scale (paper: 27)");
   opt.AddInt("machines", 16, "machines (paper: 32)");

@@ -7,7 +7,7 @@
 using namespace chaos;
 using namespace chaos::bench;
 
-int main(int argc, char** argv) {
+CHAOS_BENCH_MAIN(fig5, "Figure 5: theoretical storage-engine utilization rho(m, k)") {
   Options opt;
   opt.AddInt("max-machines", 32, "largest machine count to tabulate");
   if (!ParseFlags(opt, argc, argv)) {

@@ -7,7 +7,7 @@
 using namespace chaos;
 using namespace chaos::bench;
 
-int main(int argc, char** argv) {
+CHAOS_BENCH_MAIN(fig7, "Figure 7: weak scaling, RMAT scale grows with machine count") {
   Options opt;
   opt.AddInt("base-scale", 10, "RMAT scale at m=1 (paper: 27)");
   opt.AddInt("seed", 1, "seed");

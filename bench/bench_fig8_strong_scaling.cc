@@ -6,7 +6,7 @@
 using namespace chaos;
 using namespace chaos::bench;
 
-int main(int argc, char** argv) {
+CHAOS_BENCH_MAIN(fig8, "Figure 8: strong scaling on fixed RMAT graph") {
   Options opt;
   opt.AddInt("scale", 12, "RMAT scale (paper: 27)");
   opt.AddInt("seed", 1, "seed");

@@ -7,7 +7,7 @@
 using namespace chaos;
 using namespace chaos::bench;
 
-int main(int argc, char** argv) {
+CHAOS_BENCH_MAIN(fig9, "Figure 9: strong scaling on the web graph from HDDs") {
   Options opt;
   opt.AddInt("pages-log2", 15, "log2 of page count (paper: 1.7B pages)");
   opt.AddInt("mean-degree", 20, "mean out-degree (Data Commons 2014: ~38)");

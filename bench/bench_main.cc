@@ -1,0 +1,272 @@
+// Unified benchmark driver: links every bench_* translation unit behind one
+// CLI and emits machine-readable results.
+//
+//   chaos_bench --list
+//   chaos_bench --bench=fig8 --trials=3 --out=results.json
+//   chaos_bench --bench=all --out=results.json
+//   chaos_bench --bench=fig8 --scale=14          (extra flags forwarded)
+//
+// Driver-level flags (--bench, --trials, --out, --list, --help) are consumed
+// here; everything else is forwarded verbatim to the selected bench, which
+// parses it with the usual Options flag set. The JSON schema is documented
+// in README.md ("Benchmark JSON schema").
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+namespace chaos::bench {
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+struct TrialResult {
+  int trial = 0;
+  int exit_code = 0;
+  double wall_ms = 0.0;
+};
+
+struct BenchResult {
+  std::string name;
+  std::string description;
+  std::vector<TrialResult> trials;
+};
+
+const BenchEntry* FindBench(const std::string& name) {
+  for (const auto& entry : BenchRegistry()) {
+    if (entry.name == name) {
+      return &entry;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<const BenchEntry*> SortedRegistry() {
+  std::vector<const BenchEntry*> entries;
+  for (const auto& entry : BenchRegistry()) {
+    entries.push_back(&entry);
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const BenchEntry* a, const BenchEntry* b) { return a->name < b->name; });
+  return entries;
+}
+
+int RunOne(const BenchEntry& entry, int trials, const std::vector<std::string>& forwarded,
+           std::vector<BenchResult>* results) {
+  // Rebuild an argv for the bench: argv[0] is the bench name, the rest are
+  // the forwarded flags. Each trial gets a fresh copy because benches may
+  // permute argv while parsing.
+  int worst = 0;
+  BenchResult result;
+  result.name = entry.name;
+  result.description = entry.description;
+  for (int trial = 0; trial < trials; ++trial) {
+    std::vector<std::string> args;
+    args.push_back(entry.name);
+    args.insert(args.end(), forwarded.begin(), forwarded.end());
+    std::vector<char*> argv;
+    argv.reserve(args.size());
+    for (auto& a : args) {
+      argv.push_back(a.data());
+    }
+    const auto start = std::chrono::steady_clock::now();
+    const int rc = entry.fn(static_cast<int>(argv.size()), argv.data());
+    const auto end = std::chrono::steady_clock::now();
+    TrialResult t;
+    t.trial = trial;
+    t.exit_code = rc;
+    t.wall_ms = std::chrono::duration<double, std::milli>(end - start).count();
+    result.trials.push_back(t);
+    worst = std::max(worst, rc);
+    std::fflush(stdout);
+  }
+  results->push_back(std::move(result));
+  return worst;
+}
+
+std::string ToJson(const std::vector<BenchResult>& results, int trials,
+                   const std::vector<std::string>& forwarded) {
+  std::ostringstream out;
+  out.precision(6);
+  out << std::fixed;
+  out << "{\n";
+  out << "  \"schema\": \"chaos-bench-v1\",\n";
+  out << "  \"driver\": \"chaos_bench\",\n";
+  out << "  \"trials\": " << trials << ",\n";
+  out << "  \"forwarded_args\": [";
+  for (size_t i = 0; i < forwarded.size(); ++i) {
+    out << (i ? ", " : "") << '"' << JsonEscape(forwarded[i]) << '"';
+  }
+  out << "],\n";
+  out << "  \"benches\": [\n";
+  for (size_t b = 0; b < results.size(); ++b) {
+    const BenchResult& r = results[b];
+    double sum = 0.0, mn = 0.0, mx = 0.0;
+    bool ok = true;
+    for (size_t i = 0; i < r.trials.size(); ++i) {
+      const double ms = r.trials[i].wall_ms;
+      sum += ms;
+      mn = i == 0 ? ms : std::min(mn, ms);
+      mx = std::max(mx, ms);
+      ok = ok && r.trials[i].exit_code == 0;
+    }
+    const double mean = r.trials.empty() ? 0.0 : sum / static_cast<double>(r.trials.size());
+    out << "    {\n";
+    out << "      \"bench\": \"" << JsonEscape(r.name) << "\",\n";
+    out << "      \"description\": \"" << JsonEscape(r.description) << "\",\n";
+    out << "      \"ok\": " << (ok ? "true" : "false") << ",\n";
+    out << "      \"wall_ms_mean\": " << mean << ",\n";
+    out << "      \"wall_ms_min\": " << mn << ",\n";
+    out << "      \"wall_ms_max\": " << mx << ",\n";
+    out << "      \"trials\": [\n";
+    for (size_t i = 0; i < r.trials.size(); ++i) {
+      const TrialResult& t = r.trials[i];
+      out << "        {\"trial\": " << t.trial << ", \"exit_code\": " << t.exit_code
+          << ", \"wall_ms\": " << t.wall_ms << "}" << (i + 1 < r.trials.size() ? "," : "")
+          << "\n";
+    }
+    out << "      ]\n";
+    out << "    }" << (b + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n";
+  out << "}\n";
+  return out.str();
+}
+
+void PrintUsage(std::FILE* stream, const char* prog) {
+  std::fprintf(stream,
+               "usage: %s --bench=<name|all> [--trials=N] [--out=FILE] [bench flags...]\n"
+               "       %s --list\n",
+               prog, prog);
+}
+
+int DriverMain(int argc, char** argv) {
+  std::string bench;
+  std::string trials_text = "1";
+  std::string out_path;
+  bool list = false;
+  std::vector<std::string> forwarded;
+
+  // Accepts both `--name=value` and `--name value`, mirroring the benches'
+  // own Options parser.
+  auto value_of = [&](int* i, const char* name) -> const char* {
+    const char* arg = argv[*i];
+    const size_t len = std::strlen(name);
+    if (std::strncmp(arg, name, len) != 0) {
+      return nullptr;
+    }
+    if (arg[len] == '=') {
+      return arg + len + 1;
+    }
+    if (arg[len] == '\0' && *i + 1 < argc) {
+      return argv[++*i];
+    }
+    return nullptr;
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (const char* v = value_of(&i, "--bench")) {
+      bench = v;
+    } else if (const char* v2 = value_of(&i, "--trials")) {
+      trials_text = v2;
+    } else if (const char* v3 = value_of(&i, "--out")) {
+      out_path = v3;
+    } else if (std::strcmp(arg, "--list") == 0) {
+      list = true;
+    } else if (std::strcmp(arg, "--help") == 0 && bench.empty()) {
+      PrintUsage(stdout, argv[0]);
+      return 0;
+    } else {
+      forwarded.push_back(arg);
+    }
+  }
+
+  if (list) {
+    for (const BenchEntry* entry : SortedRegistry()) {
+      std::printf("%-10s %s\n", entry->name.c_str(), entry->description.c_str());
+    }
+    return 0;
+  }
+  if (bench.empty()) {
+    PrintUsage(stderr, argv[0]);
+    return 2;
+  }
+  char* trials_end = nullptr;
+  const long trials = std::strtol(trials_text.c_str(), &trials_end, 10);
+  if (trials_end == trials_text.c_str() || *trials_end != '\0' || trials < 1) {
+    std::fprintf(stderr, "error: --trials must be a positive integer, got '%s'\n",
+                 trials_text.c_str());
+    return 2;
+  }
+
+  std::vector<const BenchEntry*> to_run;
+  if (bench == "all") {
+    to_run = SortedRegistry();
+  } else {
+    const BenchEntry* entry = FindBench(bench);
+    if (entry == nullptr) {
+      std::fprintf(stderr, "error: unknown bench '%s'; try --list\n", bench.c_str());
+      return 2;
+    }
+    to_run.push_back(entry);
+  }
+
+  std::vector<BenchResult> results;
+  int worst = 0;
+  for (const BenchEntry* entry : to_run) {
+    std::printf("=== bench: %s ===\n", entry->name.c_str());
+    worst = std::max(worst, RunOne(*entry, static_cast<int>(trials), forwarded, &results));
+  }
+
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot open %s for writing\n", out_path.c_str());
+      return 1;
+    }
+    out << ToJson(results, static_cast<int>(trials), forwarded);
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+  return worst;
+}
+
+}  // namespace
+}  // namespace chaos::bench
+
+int main(int argc, char** argv) { return chaos::bench::DriverMain(argc, argv); }

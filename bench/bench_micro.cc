@@ -1,11 +1,19 @@
-// Microbenchmarks (google-benchmark) backing the simulator's CPU cost
-// parameters: per-edge scatter cost, per-edge grid-partitioning cost, event
-// queue and chunk machinery throughput, and generator speed. Run these on a
-// new host to recalibrate CostModel / --grid-ns-per-edge.
-#include <benchmark/benchmark.h>
+// Microbenchmarks backing the simulator's CPU cost parameters: per-edge
+// scatter cost, per-edge grid-partitioning cost, event queue and chunk
+// machinery throughput, and generator speed. Run these on a new host to
+// recalibrate CostModel / --grid-ns-per-edge.
+//
+// Self-contained timing harness (no google-benchmark dependency): each
+// benchmark body is run for an adaptive number of iterations until the
+// measured window exceeds --min-ms, then ns/op and items/s are reported.
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <utility>
 
 #include "algorithms/basic.h"
 #include "baselines/grid_partitioner.h"
+#include "bench/bench_common.h"
 #include "core/partition.h"
 #include "graph/generators.h"
 #include "sim/event_queue.h"
@@ -14,6 +22,18 @@
 
 namespace chaos {
 namespace {
+
+template <typename T>
+inline void DoNotOptimize(T&& value) {
+  asm volatile("" : : "g"(value) : "memory");
+}
+
+struct MicroCase {
+  const char* name;
+  // Runs `iters` iterations of the benchmark body and returns the number of
+  // logical items processed (edges, events, ...) across all iterations.
+  std::function<uint64_t(uint64_t iters)> run;
+};
 
 InputGraph& BenchGraph() {
   static InputGraph g = [] {
@@ -27,7 +47,7 @@ InputGraph& BenchGraph() {
 
 // Per-edge cost of the PageRank scatter path (binning included): the basis
 // for CostModel::ns_per_edge_scatter.
-void BM_ScatterPerEdge(benchmark::State& state) {
+uint64_t RunScatterPerEdge(uint64_t iters) {
   const InputGraph& g = BenchGraph();
   auto parts = Partitioning::Compute(g.num_vertices, 4, 16, 1 << 20);
   PageRankProgram prog(1);
@@ -35,7 +55,7 @@ void BM_ScatterPerEdge(benchmark::State& state) {
   std::vector<PageRankProgram::VertexState> states(g.num_vertices,
                                                    PageRankProgram::VertexState{1.0f, 16});
   std::vector<std::vector<UpdateRecord<float>>> bins(parts.num_partitions());
-  for (auto _ : state) {
+  for (uint64_t it = 0; it < iters; ++it) {
     for (auto& bin : bins) {
       bin.clear();
     }
@@ -45,78 +65,132 @@ void BM_ScatterPerEdge(benchmark::State& state) {
     for (const Edge& e : g.edges) {
       prog.Scatter(global, e.src, states[e.src], e, emit);
     }
-    benchmark::DoNotOptimize(bins);
+    DoNotOptimize(bins);
   }
-  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
-                          static_cast<int64_t>(g.num_edges()));
+  return iters * g.num_edges();
 }
-BENCHMARK(BM_ScatterPerEdge);
 
 // Per-edge cost of grid partitioning: the basis for --grid-ns-per-edge.
-void BM_GridPartitionPerEdge(benchmark::State& state) {
+uint64_t RunGridPartitionPerEdge(uint64_t iters) {
   const InputGraph& g = BenchGraph();
-  for (auto _ : state) {
+  for (uint64_t it = 0; it < iters; ++it) {
     auto result = GridPartition(g, 16, 7);
-    benchmark::DoNotOptimize(result);
+    DoNotOptimize(result);
   }
-  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
-                          static_cast<int64_t>(g.num_edges()));
+  return iters * g.num_edges();
 }
-BENCHMARK(BM_GridPartitionPerEdge);
 
-void BM_EventQueueThroughput(benchmark::State& state) {
-  for (auto _ : state) {
+uint64_t RunEventQueueThroughput(uint64_t iters) {
+  for (uint64_t it = 0; it < iters; ++it) {
     EventQueue q;
     for (int i = 0; i < 10000; ++i) {
       q.Push((i * 2654435761u) % 100000, [] {});
     }
     while (!q.empty()) {
-      benchmark::DoNotOptimize(q.Pop());
+      DoNotOptimize(q.Pop());
     }
   }
-  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 10000);
+  return iters * 10000;
 }
-BENCHMARK(BM_EventQueueThroughput);
 
-void BM_CoroutineDelayRoundtrip(benchmark::State& state) {
-  for (auto _ : state) {
+uint64_t RunCoroutineDelayRoundtrip(uint64_t iters) {
+  for (uint64_t it = 0; it < iters; ++it) {
     Simulator sim;
-    sim.Spawn([](Simulator* sim) -> Task<> {
+    sim.Spawn([](Simulator* s) -> Task<> {
       for (int i = 0; i < 1000; ++i) {
-        co_await sim->Delay(10);
+        co_await s->Delay(10);
       }
     }(&sim));
     sim.Run();
   }
-  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 1000);
+  return iters * 1000;
 }
-BENCHMARK(BM_CoroutineDelayRoundtrip);
 
-void BM_RmatGeneration(benchmark::State& state) {
+uint64_t RunRmatGeneration(uint64_t iters) {
   RmatOptions opt;
   opt.scale = 12;
   opt.seed = 7;
-  for (auto _ : state) {
+  for (uint64_t it = 0; it < iters; ++it) {
     auto g = GenerateRmat(opt);
-    benchmark::DoNotOptimize(g);
+    DoNotOptimize(g);
   }
-  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * (16 << 12));
+  return iters * (16ull << 12);
 }
-BENCHMARK(BM_RmatGeneration);
 
-void BM_ChunkRoundTrip(benchmark::State& state) {
+uint64_t RunChunkRoundTrip(uint64_t iters) {
   std::vector<Edge> edges(8192);
-  for (auto _ : state) {
+  for (uint64_t it = 0; it < iters; ++it) {
     auto copy = edges;
     Chunk c = MakeChunk<Edge>(0, copy.size() * 8, std::move(copy));
     auto span = ChunkSpan<Edge>(c);
-    benchmark::DoNotOptimize(span);
+    DoNotOptimize(span);
   }
-  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 8192);
+  return iters * 8192;
 }
-BENCHMARK(BM_ChunkRoundTrip);
+
+const std::vector<MicroCase>& MicroCases() {
+  static const std::vector<MicroCase> kCases = {
+      {"ScatterPerEdge", RunScatterPerEdge},
+      {"GridPartitionPerEdge", RunGridPartitionPerEdge},
+      {"EventQueueThroughput", RunEventQueueThroughput},
+      {"CoroutineDelayRoundtrip", RunCoroutineDelayRoundtrip},
+      {"RmatGeneration", RunRmatGeneration},
+      {"ChunkRoundTrip", RunChunkRoundTrip},
+  };
+  return kCases;
+}
+
+double NowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 }  // namespace
 }  // namespace chaos
 
-BENCHMARK_MAIN();
+using namespace chaos;
+using namespace chaos::bench;
+
+CHAOS_BENCH_MAIN(micro, "Microbenchmarks for CostModel calibration") {
+  Options opt;
+  opt.AddDouble("min-ms", 100.0, "minimum measured window per benchmark, in ms");
+  opt.AddString("filter", "", "only run benchmarks whose name contains this substring");
+  if (!ParseFlags(opt, argc, argv)) {
+    return 1;
+  }
+  const double min_ms = opt.GetDouble("min-ms");
+  const std::string& filter = opt.GetString("filter");
+
+  PrintHeader({"benchmark", "iters", "ns/op", "items/s"});
+  for (const MicroCase& c : MicroCases()) {
+    if (!filter.empty() && std::string(c.name).find(filter) == std::string::npos) {
+      continue;
+    }
+    // Warm up once, then grow the iteration count until the window is long
+    // enough to be trustworthy.
+    c.run(1);
+    uint64_t iters = 1;
+    double elapsed_ms = 0.0;
+    uint64_t items = 0;
+    for (;;) {
+      const double start = NowMs();
+      items = c.run(iters);
+      elapsed_ms = NowMs() - start;
+      if (elapsed_ms >= min_ms || iters >= (1ull << 30)) {
+        break;
+      }
+      const double growth = elapsed_ms > 0.0 ? (min_ms * 1.4) / elapsed_ms : 16.0;
+      iters = std::max<uint64_t>(iters + 1, static_cast<uint64_t>(iters * growth));
+    }
+    const double ns_per_op = elapsed_ms * 1e6 / static_cast<double>(iters);
+    const double items_per_sec =
+        elapsed_ms > 0.0 ? static_cast<double>(items) * 1e3 / elapsed_ms : 0.0;
+    PrintCell(c.name);
+    PrintCell(static_cast<double>(iters), "%.0f");
+    PrintCell(ns_per_op, "%.1f");
+    PrintCell(items_per_sec, "%.3g");
+    EndRow();
+  }
+  return 0;
+}

@@ -8,7 +8,7 @@
 using namespace chaos;
 using namespace chaos::bench;
 
-int main(int argc, char** argv) {
+CHAOS_BENCH_MAIN(table1, "Table 1: single-machine runtime, X-Stream vs Chaos") {
   Options opt;
   opt.AddInt("scale", 13, "RMAT scale (paper: 27)");
   opt.AddInt("seed", 1, "graph + placement seed");

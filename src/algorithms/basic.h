@@ -355,7 +355,8 @@ class SpmvProgram {
   }
 
   void ReduceGlobal(GlobalState&, const GlobalState&) const {}
-  bool Advance(GlobalState&, uint64_t superstep, uint64_t) const { return superstep >= 0; }
+  // SpMV always advances; the runner bounds the superstep count.
+  bool Advance(GlobalState&, uint64_t, uint64_t) const { return true; }
   double Extract(const VertexState& v) const { return static_cast<double>(v.y); }
 };
 

@@ -68,9 +68,18 @@ class RecordBinner {
   RecordBinner(const Partitioning* parts, uint64_t record_wire_bytes, uint64_t chunk_bytes)
       : parts_(parts),
         record_wire_(record_wire_bytes),
-        records_per_chunk_(chunk_bytes / record_wire_bytes < 1 ? 1
-                                                               : chunk_bytes / record_wire_bytes),
+        records_per_chunk_(RecordsPerChunk(chunk_bytes, record_wire_bytes)),
         buffers_(parts->num_partitions()) {}
+
+  // Chunk capacity in records. Floored at one record per chunk so records
+  // wider than the chunk still make progress; zero-width records (empty
+  // payloads) never fill a chunk by byte count, so they are binned as if
+  // one byte wide instead of dividing by zero.
+  static uint64_t RecordsPerChunk(uint64_t chunk_bytes, uint64_t record_wire_bytes) {
+    const uint64_t wire = record_wire_bytes < 1 ? 1 : record_wire_bytes;
+    const uint64_t per = chunk_bytes / wire;
+    return per < 1 ? 1 : per;
+  }
 
   void Add(PartitionId p, const RecT& record) {
     auto& buffer = buffers_[p];

@@ -15,7 +15,8 @@
 namespace chaos {
 
 // Aborts after printing `msg` with source location. Used by the CHECK macros.
-[[noreturn]] void CheckFailure(const char* file, int line, const char* expr, const std::string& msg);
+[[noreturn]] void CheckFailure(const char* file, int line, const char* expr,
+                               const std::string& msg);
 
 namespace internal {
 std::string CheckMessage();

@@ -1,0 +1,271 @@
+// Smoke test for the unified bench driver: runs `chaos_bench --bench=micro
+// --trials=1 --out=<tmp>` as a subprocess and validates that the emitted
+// file is well-formed JSON carrying nonzero timings. The driver path is
+// passed as argv[1] by ctest (see tests/CMakeLists.txt).
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+std::string g_bench_path;
+
+// Single-quote a path for /bin/sh so build trees with spaces or shell
+// metacharacters in their path still run the driver correctly.
+std::string ShellQuote(const std::string& s) {
+  std::string quoted = "'";
+  for (char c : s) {
+    if (c == '\'') {
+      quoted += "'\\''";
+    } else {
+      quoted += c;
+    }
+  }
+  quoted += "'";
+  return quoted;
+}
+
+// ------------------------------------------------------------------
+// Minimal recursive-descent JSON parser: validates syntax and records the
+// numeric values seen for a key of interest. No external dependencies.
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : text_(text) {}
+
+  bool Parse() {
+    pos_ = 0;
+    if (!ParseValue()) {
+      return false;
+    }
+    SkipWs();
+    return pos_ == text_.size();
+  }
+
+  const std::vector<double>& values_for(const std::string& key) const {
+    static const std::vector<double> kEmpty;
+    auto it = numeric_by_key_.find(key);
+    return it == numeric_by_key_.end() ? kEmpty : it->second;
+  }
+
+  const std::vector<std::string>& strings_for(const std::string& key) const {
+    static const std::vector<std::string> kEmpty;
+    auto it = string_by_key_.find(key);
+    return it == string_by_key_.end() ? kEmpty : it->second;
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ParseString(std::string* out) {
+    SkipWs();
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      return false;
+    }
+    ++pos_;
+    std::string s;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) {
+          return false;
+        }
+      }
+      s += text_[pos_++];
+    }
+    if (pos_ >= text_.size()) {
+      return false;
+    }
+    ++pos_;  // closing quote
+    if (out != nullptr) {
+      *out = s;
+    }
+    return true;
+  }
+
+  bool ParseNumber(double* out) {
+    SkipWs();
+    const char* start = text_.c_str() + pos_;
+    char* end = nullptr;
+    const double v = std::strtod(start, &end);
+    if (end == start) {
+      return false;
+    }
+    pos_ += static_cast<size_t>(end - start);
+    if (out != nullptr) {
+      *out = v;
+    }
+    return true;
+  }
+
+  bool ParseValue(const std::string& key = "") {
+    SkipWs();
+    if (pos_ >= text_.size()) {
+      return false;
+    }
+    const char c = text_[pos_];
+    if (c == '{') {
+      return ParseObject();
+    }
+    if (c == '[') {
+      return ParseArray(key);
+    }
+    if (c == '"') {
+      std::string s;
+      if (!ParseString(&s)) {
+        return false;
+      }
+      if (!key.empty()) {
+        string_by_key_[key].push_back(s);
+      }
+      return true;
+    }
+    if (text_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      return true;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      return true;
+    }
+    if (text_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      return true;
+    }
+    double v = 0.0;
+    if (!ParseNumber(&v)) {
+      return false;
+    }
+    if (!key.empty()) {
+      numeric_by_key_[key].push_back(v);
+    }
+    return true;
+  }
+
+  bool ParseObject() {
+    if (!Consume('{')) {
+      return false;
+    }
+    if (Consume('}')) {
+      return true;
+    }
+    for (;;) {
+      std::string key;
+      if (!ParseString(&key) || !Consume(':') || !ParseValue(key)) {
+        return false;
+      }
+      if (Consume(',')) {
+        continue;
+      }
+      return Consume('}');
+    }
+  }
+
+  bool ParseArray(const std::string& key) {
+    if (!Consume('[')) {
+      return false;
+    }
+    SkipWs();
+    if (Consume(']')) {
+      return true;
+    }
+    for (;;) {
+      if (!ParseValue(key)) {
+        return false;
+      }
+      if (Consume(',')) {
+        continue;
+      }
+      return Consume(']');
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  std::map<std::string, std::vector<double>> numeric_by_key_;
+  std::map<std::string, std::vector<std::string>> string_by_key_;
+};
+
+TEST(BenchSmokeTest, MicroEmitsValidJsonWithNonzeroTimings) {
+  ASSERT_FALSE(g_bench_path.empty()) << "pass the chaos_bench path as argv[1]";
+
+  const std::string out_path = ::testing::TempDir() + "/chaos_bench_micro.json";
+  const std::string cmd = ShellQuote(g_bench_path) +
+                          " --bench=micro --trials=1 --min-ms=5 --out=" + ShellQuote(out_path) +
+                          " > /dev/null";
+  ASSERT_EQ(std::system(cmd.c_str()), 0) << "bench driver failed: " << cmd;
+
+  std::ifstream in(out_path);
+  ASSERT_TRUE(in.good()) << "driver did not write " << out_path;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  ASSERT_FALSE(text.empty());
+
+  JsonChecker json(text);
+  ASSERT_TRUE(json.Parse()) << "emitted file is not valid JSON:\n" << text;
+
+  const auto& schemas = json.strings_for("schema");
+  ASSERT_EQ(schemas.size(), 1u);
+  EXPECT_EQ(schemas[0], "chaos-bench-v1");
+
+  const auto& benches = json.strings_for("bench");
+  ASSERT_FALSE(benches.empty());
+  EXPECT_EQ(benches[0], "micro");
+
+  const auto& timings = json.values_for("wall_ms");
+  ASSERT_FALSE(timings.empty()) << "no per-trial wall_ms in JSON:\n" << text;
+  for (double ms : timings) {
+    EXPECT_GT(ms, 0.0);
+  }
+  const auto& means = json.values_for("wall_ms_mean");
+  ASSERT_FALSE(means.empty());
+  EXPECT_GT(means[0], 0.0);
+}
+
+TEST(BenchSmokeTest, ListIncludesAllRegisteredBenches) {
+  ASSERT_FALSE(g_bench_path.empty());
+  FILE* pipe = popen((ShellQuote(g_bench_path) + " --list").c_str(), "r");
+  ASSERT_NE(pipe, nullptr);
+  std::string output;
+  char chunk[512];
+  while (std::fgets(chunk, sizeof(chunk), pipe) != nullptr) {
+    output += chunk;
+  }
+  ASSERT_EQ(pclose(pipe), 0);
+  // All 18 seed benches must be registered with the driver.
+  for (const char* name :
+       {"capacity", "fig5", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
+        "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "micro", "table1"}) {
+    EXPECT_NE(output.find(name), std::string::npos) << "missing bench: " << name;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  if (argc > 1) {
+    g_bench_path = argv[1];
+  }
+  return RUN_ALL_TESTS();
+}

@@ -23,8 +23,9 @@ NetworkConfig TestConfig() {
 TEST(NetworkTest, Presets) {
   EXPECT_DOUBLE_EQ(NetworkConfig::FortyGigE().nic_bandwidth_bps, 5e9);
   EXPECT_DOUBLE_EQ(NetworkConfig::OneGigE().nic_bandwidth_bps, 1.25e8);
-  EXPECT_EQ(NetworkConfig::FortyGigE().nic_bandwidth_bps / NetworkConfig::OneGigE().nic_bandwidth_bps,
-            40.0);
+  EXPECT_EQ(
+      NetworkConfig::FortyGigE().nic_bandwidth_bps / NetworkConfig::OneGigE().nic_bandwidth_bps,
+      40.0);
 }
 
 TEST(NetworkTest, TxTimeMatchesBandwidth) {
