@@ -6,6 +6,11 @@
 //   chaos_run --algo pagerank --input graph.txt --machines 16
 //   chaos_run --algo bfs --generate rmat --scale 18 --machines 32 --hdd
 //   chaos_run --algo sssp --generate grid --scale 8 --out distances.txt
+//
+// Heterogeneity / fault injection (reproduces bench fig21_stragglers):
+//   chaos_run --algo pagerank --scale 17 --machines 4 --cores 1
+//             --storage-bw-mbps 2000 --partitions-per-machine 16
+//             --straggler 0 --straggler-severity 8
 #include <cstdio>
 #include <fstream>
 
@@ -27,9 +32,17 @@ int main(int argc, char** argv) {
   opt.AddInt("scale", 14, "generator scale (2^scale vertices)");
   opt.AddInt("machines", 8, "simulated machines");
   opt.AddInt("partitions-per-machine", 4, "streaming partitions per machine");
+  opt.AddInt("chunk-kb", 256, "storage chunk size in KiB (the steal granularity)");
   opt.AddBool("hdd", false, "use the HDD profile instead of SSD");
   opt.AddBool("slow-net", false, "use 1GigE instead of 40GigE");
+  opt.AddInt("cores", 0, "CPU cores per machine (0 = cost-model default)");
+  opt.AddDouble("storage-bw-mbps", 0.0, "storage bandwidth MB/s (0 = profile default)");
   opt.AddDouble("alpha", 1.0, "work-stealing bias (0 disables stealing)");
+  opt.AddInt("straggler", -1, "machine to degrade (-1 = healthy cluster)");
+  opt.AddDouble("straggler-severity", 4.0, "slowdown factor of the straggler");
+  opt.AddString("straggler-target", "cpu", "degraded resource: cpu|storage|nic|machine");
+  opt.AddDouble("fault-at-ms", 0.0, "simulated time the degradation begins");
+  opt.AddDouble("fault-duration-ms", 0.0, "degradation length (0 = permanent)");
   opt.AddInt("checkpoint-interval", 0, "checkpoint every N supersteps (0 = off)");
   opt.AddInt("source", 0, "source vertex (bfs/sssp)");
   opt.AddInt("iterations", 5, "iterations (pagerank/bp)");
@@ -108,12 +121,48 @@ int main(int argc, char** argv) {
   const auto ppm = static_cast<uint64_t>(opt.GetInt("partitions-per-machine"));
   cfg.memory_budget_bytes = std::max<uint64_t>(
       prepared.num_vertices * 48 / (ppm * static_cast<uint64_t>(cfg.machines)) + 1, 4 << 10);
-  cfg.chunk_bytes = 256 << 10;
+  cfg.chunk_bytes = static_cast<uint64_t>(opt.GetInt("chunk-kb")) << 10;
   cfg.storage = opt.GetBool("hdd") ? StorageConfig::Hdd() : StorageConfig::Ssd();
   cfg.net = opt.GetBool("slow-net") ? NetworkConfig::OneGigE() : NetworkConfig::FortyGigE();
   cfg.alpha = opt.GetDouble("alpha");
   cfg.checkpoint_interval = static_cast<uint32_t>(opt.GetInt("checkpoint-interval"));
   cfg.seed = seed;
+  if (opt.GetInt("cores") > 0) {
+    cfg.cost.cores = static_cast<int>(opt.GetInt("cores"));
+  }
+  if (opt.GetDouble("storage-bw-mbps") > 0.0) {
+    cfg.storage.bandwidth_bps = opt.GetDouble("storage-bw-mbps") * 1e6;
+  }
+
+  // ---- Fault injection.
+  const auto victim = static_cast<MachineId>(opt.GetInt("straggler"));
+  if (victim >= 0) {
+    if (victim >= cfg.machines) {
+      std::fprintf(stderr, "--straggler must be in [0, %d)\n", cfg.machines);
+      return 1;
+    }
+    FaultTarget target = FaultTarget::kCpu;
+    if (!ParseFaultTarget(opt.GetString("straggler-target"), &target)) {
+      std::fprintf(stderr, "unknown --straggler-target '%s'\n",
+                   opt.GetString("straggler-target").c_str());
+      return 1;
+    }
+    const double severity = opt.GetDouble("straggler-severity");
+    if (severity < 1.0) {
+      std::fprintf(stderr, "--straggler-severity must be >= 1\n");
+      return 1;
+    }
+    FaultEvent fault;
+    fault.machine = victim;
+    fault.target = target;
+    fault.factor = 1.0 / severity;
+    fault.at = static_cast<TimeNs>(opt.GetDouble("fault-at-ms") * kNsPerMs);
+    fault.duration = static_cast<TimeNs>(opt.GetDouble("fault-duration-ms") * kNsPerMs);
+    cfg.faults.Add(fault);
+    std::printf("injecting: machine %d %s at %.1fx speed (%s)\n", victim,
+                FaultTargetName(target), 1.0 / severity,
+                fault.permanent() ? "permanent" : "transient");
+  }
 
   AlgoParams params;
   params.source = static_cast<VertexId>(opt.GetInt("source"));

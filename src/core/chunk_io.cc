@@ -29,6 +29,7 @@ ChunkFetcher::ChunkFetcher(EngineContext* ctx, Rng* rng, SetId set, uint64_t epo
       window_(window),
       forced_target_(local_master_target),
       cond_(ctx->sim),
+      credits_(window),
       engine_empty_(static_cast<size_t>(ctx->machines()), 0),
       in_flight_per_engine_(static_cast<size_t>(ctx->machines()), 0),
       engines_left_(ctx->machines()) {
@@ -93,10 +94,21 @@ MachineId ChunkFetcher::PickTarget() {
 
 Task<> ChunkFetcher::Worker() {
   while (true) {
+    // Backpressure: in-flight requests plus buffered-but-unconsumed chunks
+    // never exceed the window. Without this the pipeline would drain whole
+    // sets from storage far ahead of a slow consumer — an unbounded prefetch
+    // buffer the real engine does not have (§6.5 keeps floor(phi*k) chunk
+    // *requests* outstanding) — and the master's storage-side D estimate
+    // (§5.4) would undercount remaining work whenever a scan is CPU-bound,
+    // e.g. on a degraded straggler machine.
+    while (credits_ == 0 && engines_left_ > 0) {
+      co_await cond_.Wait();
+    }
     const MachineId target = PickTarget();
     if (target == kNoMachine) {
       break;
     }
+    --credits_;
     in_flight_per_engine_[static_cast<size_t>(target)]++;
     // Named locals around coroutine-call arguments (g++ 12 wrong-code with
     // braced aggregate temporaries in co_await expressions; see sim/task.h).
@@ -110,11 +122,14 @@ Task<> ChunkFetcher::Worker() {
       ++chunks_fetched_;
       bytes_fetched_ += r.chunk.model_bytes;
       ready_.push_back(std::move(r.chunk));
-      cond_.NotifyAll();
-    } else if (!engine_empty_[static_cast<size_t>(target)]) {
-      engine_empty_[static_cast<size_t>(target)] = 1;
-      --engines_left_;
+    } else {
+      ++credits_;  // nothing buffered: return the credit
+      if (!engine_empty_[static_cast<size_t>(target)]) {
+        engine_empty_[static_cast<size_t>(target)] = 1;
+        --engines_left_;
+      }
     }
+    cond_.NotifyAll();
   }
   if (--workers_active_ == 0) {
     cond_.NotifyAll();
@@ -125,6 +140,13 @@ Task<> ChunkFetcher::DirectoryWorker() {
   DirectoryServer* dir = ctx_->directory;
   CHAOS_CHECK(dir != nullptr);
   while (!directory_exhausted_) {
+    while (credits_ == 0 && !directory_exhausted_) {
+      co_await cond_.Wait();
+    }
+    if (directory_exhausted_) {
+      break;
+    }
+    --credits_;
     Message req;
     req.src = ctx_->machine;
     req.dst = dir->home();
@@ -136,6 +158,8 @@ Task<> ChunkFetcher::DirectoryWorker() {
     const auto& next = std::any_cast<const DirNextResp&>(dresp.body);
     if (!next.ok) {
       directory_exhausted_ = true;
+      ++credits_;
+      cond_.NotifyAll();
       break;
     }
     ReadIndexedReq body{set_, next.index, /*consume=*/true, epoch_};
@@ -160,6 +184,8 @@ Task<std::optional<Chunk>> ChunkFetcher::Next() {
     if (!ready_.empty()) {
       Chunk c = std::move(ready_.front());
       ready_.pop_front();
+      ++credits_;  // consumed: let a worker issue the next request
+      cond_.NotifyAll();
       co_return c;
     }
     if (workers_active_ == 0) {

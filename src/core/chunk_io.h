@@ -36,10 +36,24 @@ struct EngineContext {
   std::vector<StorageEngine*> storage;
   DirectoryServer* directory = nullptr;  // non-null in kCentralDirectory mode
   const ClusterConfig* config = nullptr;
+  const FaultInjector* faults = nullptr;  // non-null when a schedule is set
   MachineId machine = 0;
 
   int machines() const { return config->machines; }
   StorageEngine* local_storage() const { return storage[static_cast<size_t>(machine)]; }
+
+  // This machine's CPU cost model (heterogeneous profiles honored).
+  const CostModel& cost() const { return config->cost_for(machine); }
+
+  // Stretches a nominal CPU delay by any active fault on this machine; all
+  // engine compute delays route through here so CPU degradation applies.
+  TimeNs ScaleCpu(TimeNs t) const {
+    return faults == nullptr ? t : faults->ScaleCpu(machine, t);
+  }
+  TimeNs CpuTime(uint64_t items, double ns_per_item) const {
+    return ScaleCpu(cost().ItemsTime(items, ns_per_item));
+  }
+  TimeNs MessageTime() const { return ScaleCpu(cost().MessageTime()); }
 };
 
 // Fetches all chunks of one (set, epoch), keeping `window` requests
@@ -78,6 +92,7 @@ class ChunkFetcher {
 
   CondEvent cond_;
   std::deque<Chunk> ready_;
+  int credits_;  // window minus (in-flight requests + unconsumed chunks)
   std::vector<uint8_t> engine_empty_;
   std::vector<int> in_flight_per_engine_;
   int engines_left_ = 0;

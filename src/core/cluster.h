@@ -41,11 +41,24 @@ class Cluster {
     net_ = std::make_unique<Network>(&sim_, config_.machines, config_.net);
     bus_ = std::make_unique<MessageBus>(&sim_, net_.get());
     for (MachineId m = 0; m < config_.machines; ++m) {
-      storage_.push_back(std::make_unique<StorageEngine>(&sim_, bus_.get(), m, config_.storage));
+      // Heterogeneity: each machine gets its own storage/NIC hardware.
+      storage_.push_back(
+          std::make_unique<StorageEngine>(&sim_, bus_.get(), m, config_.storage_for(m)));
+      net_->SetNicBandwidth(m, config_.nic_bandwidth_for(m));
     }
     if (config_.placement == Placement::kCentralDirectory) {
       directory_ = std::make_unique<DirectoryServer>(&sim_, bus_.get(), /*home=*/0,
                                                      config_.machines, config_.seed);
+    }
+    if (!config_.faults.empty()) {
+      injector_ = std::make_unique<FaultInjector>(&sim_, config_.faults, config_.machines);
+      for (MachineId m = 0; m < config_.machines; ++m) {
+        FaultInjector::MachineHooks hooks;
+        hooks.storage = &storage_[static_cast<size_t>(m)]->device();
+        hooks.nic_up = &net_->Uplink(m);
+        hooks.nic_down = &net_->Downlink(m);
+        injector_->AttachMachine(m, hooks);
+      }
     }
   }
 
@@ -154,6 +167,7 @@ class Cluster {
       }
       ctx.directory = directory_.get();
       ctx.config = &config_;
+      ctx.faults = injector_.get();
       ctx.machine = m;
       engines_.push_back(std::make_unique<ComputeEngine<P>>(
           std::move(ctx), &prog_, meta, parts_.get(),
@@ -161,6 +175,19 @@ class Cluster {
     }
     for (auto& engine : engines_) {
       engine->Start();
+    }
+    if (injector_ != nullptr) {
+      // Sampled at each fault's onset/recovery so steal activity and idle
+      // time are attributable to individual injected events.
+      injector_->set_probe([this](MachineId m) {
+        const MachineMetrics& mm = machine_metrics_[static_cast<size_t>(m)];
+        FaultProbeSample sample;
+        sample.proposals_accepted = mm.proposals_accepted;
+        sample.steals_worked = mm.steals_worked;
+        sample.barrier_wait = mm.bucket(Bucket::kBarrier);
+        return sample;
+      });
+      injector_->Start();
     }
     sim_.Spawn(Supervise());
     sim_.Run();
@@ -186,6 +213,9 @@ class Cluster {
     result.metrics.network_bytes = net_->total_bytes();
     result.metrics.incast_events = net_->incast_events();
     result.metrics.messages = bus_->messages_delivered();
+    if (injector_ != nullptr) {
+      result.metrics.faults = injector_->records();
+    }
     for (auto& engine : engines_) {
       const auto& out = engine->outputs();
       result.outputs.insert(result.outputs.end(), out.begin(), out.end());
@@ -219,6 +249,11 @@ class Cluster {
       co_await sim_.Delay(20 * kNsPerUs);
     }
     finish_time_ = sim_.now();
+    if (injector_ != nullptr) {
+      // Degradations scheduled past this point were never reached; stop the
+      // replay so they are not recorded as applied post-run.
+      injector_->Cancel();
+    }
     for (MachineId m = 0; m < config_.machines; ++m) {
       Message stop;
       stop.src = 0;
@@ -283,6 +318,7 @@ class Cluster {
   std::unique_ptr<MessageBus> bus_;
   std::vector<std::unique_ptr<StorageEngine>> storage_;
   std::unique_ptr<DirectoryServer> directory_;
+  std::unique_ptr<FaultInjector> injector_;
   std::unique_ptr<Partitioning> parts_;
   std::vector<std::unique_ptr<ComputeEngine<P>>> engines_;
   std::vector<MachineMetrics> machine_metrics_;

@@ -255,7 +255,7 @@ class ComputeEngine {
   // then initialize and store the vertex sets of owned partitions.
   Task<> Preprocess() {
     BucketTimer t(ctx_.sim, metrics_, Bucket::kPreprocess);
-    const auto& cost = ctx_.config->cost;
+    const auto& cost = ctx_.cost();
     {
       RecordBinner<Edge> edge_binner(parts_, meta_.edge_wire_bytes, ctx_.config->chunk_bytes);
       ChunkWriter writer(&ctx_, &rng_, ctx_.config->fetch_window());
@@ -271,8 +271,8 @@ class ComputeEngine {
           break;
         }
         auto edges = ChunkSpan<Edge>(*chunk);
-        co_await ctx_.sim->Delay(cost.ItemsTime(edges.size(), cost.ns_per_edge_scatter) +
-                                 cost.MessageTime());
+        co_await ctx_.sim->Delay(ctx_.CpuTime(edges.size(), cost.ns_per_edge_scatter) +
+                                 ctx_.MessageTime());
         for (const Edge& e : edges) {
           edge_binner.Add(parts_->PartitionOf(e.src), e);
           if (P::kNeedsOutDegrees && e.flags == kEdgeForward) {
@@ -332,8 +332,7 @@ class ComputeEngine {
     const uint64_t count = parts_->Count(p);
     const VertexId base = parts_->Base(p);
     const uint64_t per_chunk = VertsPerChunk();
-    const auto& cost = ctx_.config->cost;
-    co_await ctx_.sim->Delay(cost.ItemsTime(count, cost.ns_per_vertex_apply));
+    co_await ctx_.sim->Delay(ctx_.CpuTime(count, ctx_.cost().ns_per_vertex_apply));
     for (uint64_t start = 0, idx = 0; start < count; start += per_chunk, ++idx) {
       const uint64_t n = std::min(per_chunk, count - start);
       std::vector<VState> states;
@@ -439,7 +438,7 @@ class ComputeEngine {
     }
     BucketTimer t(ctx_.sim, metrics_, stolen ? Bucket::kGpSteal : Bucket::kGpMaster);
     const VertexId base = parts_->Base(p);
-    const auto& cost = ctx_.config->cost;
+    const auto& cost = ctx_.cost();
     const SetKind target_kind = UpdatesFor(superstep_);
     auto emit = [&](VertexId dst, const U& value) {
       binner->Add(parts_->PartitionOf(dst), Rec{dst, value});
@@ -454,8 +453,8 @@ class ComputeEngine {
         break;
       }
       auto edges = ChunkSpan<Edge>(*chunk);
-      co_await ctx_.sim->Delay(cost.ItemsTime(edges.size(), cost.ns_per_edge_scatter) +
-                               cost.MessageTime());
+      co_await ctx_.sim->Delay(ctx_.CpuTime(edges.size(), cost.ns_per_edge_scatter) +
+                               ctx_.MessageTime());
       for (const Edge& e : edges) {
         CHAOS_DCHECK(parts_->PartitionOf(e.src) == p);
         prog_->Scatter(global_, e.src, vstate[e.src - base], e, emit);
@@ -500,7 +499,7 @@ class ComputeEngine {
     BucketTimer t(ctx_.sim, metrics_, stolen ? Bucket::kGpSteal : Bucket::kGpMaster);
     std::vector<A> accums(parts_->Count(p), prog_->InitAccum());
     const VertexId base = parts_->Base(p);
-    const auto& cost = ctx_.config->cost;
+    const auto& cost = ctx_.cost();
     const SetKind emit_kind = UpdatesFor(superstep_ + 1);
     auto emit = [&](VertexId dst, const U& value) {
       binner->Add(parts_->PartitionOf(dst), Rec{dst, value});
@@ -516,8 +515,8 @@ class ComputeEngine {
         break;
       }
       auto records = ChunkSpan<Rec>(*chunk);
-      co_await ctx_.sim->Delay(cost.ItemsTime(records.size(), cost.ns_per_update_gather) +
-                               cost.MessageTime());
+      co_await ctx_.sim->Delay(ctx_.CpuTime(records.size(), cost.ns_per_update_gather) +
+                               ctx_.MessageTime());
       for (const Rec& r : records) {
         CHAOS_DCHECK(parts_->PartitionOf(r.dst) == p);
         prog_->Gather(global_, r.dst, vstate[r.dst - base], accums[r.dst - base], r.value, emit);
@@ -536,7 +535,7 @@ class ComputeEngine {
     // Close: no new stealers; the registered set is now final (§5.3).
     PartStatus& st = own_status_[p];
     st.s = PartStatus::S::kClosed;
-    const auto& cost = ctx_.config->cost;
+    const auto& cost = ctx_.cost();
 
     // Pull and merge the replica accumulators of every stealer.
     for (const MachineId stealer : st.gather_stealers) {
@@ -556,7 +555,7 @@ class ComputeEngine {
       auto theirs = ChunkSpan<A>(pull.accums);
       CHAOS_CHECK_EQ(theirs.size(), accums.size());
       BucketTimer merge_t(ctx_.sim, metrics_, Bucket::kMerge);
-      co_await ctx_.sim->Delay(cost.ItemsTime(theirs.size(), cost.ns_per_vertex_merge));
+      co_await ctx_.sim->Delay(ctx_.CpuTime(theirs.size(), cost.ns_per_vertex_merge));
       for (size_t i = 0; i < accums.size(); ++i) {
         prog_->MergeAccum(accums[i], theirs[i]);
       }
@@ -571,7 +570,7 @@ class ComputeEngine {
         binner->Add(parts_->PartitionOf(dst), Rec{dst, value});
       };
       auto sink = [&](const Out& out) { outputs_.push_back(out); };
-      co_await ctx_.sim->Delay(cost.ItemsTime(vstate.size(), cost.ns_per_vertex_apply));
+      co_await ctx_.sim->Delay(ctx_.CpuTime(vstate.size(), cost.ns_per_vertex_apply));
       for (size_t i = 0; i < vstate.size(); ++i) {
         if (prog_->Apply(global_, base + i, vstate[i], accums[i], local_, emit, sink)) {
           ++changed_;

@@ -92,6 +92,22 @@ double RunMetrics::BucketFraction(Bucket b) const {
   return static_cast<double>(SumBucket(b)) / static_cast<double>(tracked);
 }
 
+uint64_t RunMetrics::StealsDuringFault(const FaultRecord& r) const {
+  if (r.applied_at < 0) {
+    return 0;  // the run ended before the event fired
+  }
+  const uint64_t before = r.at_apply.proposals_accepted;
+  if (r.cleared_at >= 0) {
+    return r.at_clear.proposals_accepted - before;
+  }
+  // Still active at end of run: compare against the final counters.
+  const auto m = static_cast<size_t>(r.event.machine);
+  if (m >= machines.size()) {
+    return 0;
+  }
+  return machines[m].proposals_accepted - before;
+}
+
 std::string RunMetrics::Summary() const {
   std::string out;
   char line[256];
@@ -108,6 +124,22 @@ std::string RunMetrics::Summary() const {
     std::snprintf(line, sizeof(line), "  %-14s %6.2f%%\n",
                   BucketName(static_cast<Bucket>(b)),
                   100.0 * BucketFraction(static_cast<Bucket>(b)));
+    out += line;
+  }
+  for (const FaultRecord& r : faults) {
+    if (r.applied_at < 0) {
+      std::snprintf(line, sizeof(line), "  fault m%d %s x%.2f: not reached\n",
+                    r.event.machine, FaultTargetName(r.event.target), r.event.factor);
+    } else {
+      std::snprintf(line, sizeof(line),
+                    "  fault m%d %s x%.2f: at=%s %s victim_steals=%llu\n", r.event.machine,
+                    FaultTargetName(r.event.target), r.event.factor,
+                    FormatSeconds(ToSeconds(r.applied_at)).c_str(),
+                    r.cleared_at >= 0
+                        ? ("cleared=" + FormatSeconds(ToSeconds(r.cleared_at))).c_str()
+                        : "permanent",
+                    static_cast<unsigned long long>(StealsDuringFault(r)));
+    }
     out += line;
   }
   return out;

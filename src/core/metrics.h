@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/fault_injector.h"
 #include "sim/time.h"
 
 namespace chaos {
@@ -63,6 +64,8 @@ struct RunMetrics {
   uint64_t incast_events = 0;
   uint64_t messages = 0;
   bool crashed = false;
+  // Injected degradation events as they played out (empty = healthy run).
+  std::vector<FaultRecord> faults;
 
   double total_seconds() const { return ToSeconds(total_time); }
 
@@ -76,6 +79,9 @@ struct RunMetrics {
   TimeNs SumBucket(Bucket b) const;
   // Fraction of summed machine time in a bucket (Fig. 17 bars).
   double BucketFraction(Bucket b) const;
+  // Steals of the victim's partitions while the fault was active (difference
+  // of the probe samples; for still-active faults, up to the end of the run).
+  uint64_t StealsDuringFault(const FaultRecord& r) const;
 
   std::string Summary() const;
 };

@@ -39,6 +39,13 @@ class Partitioning {
   uint64_t Count(PartitionId p) const {
     CHAOS_CHECK_LT(p, num_partitions_);
     const VertexId base = Base(p);
+    // Ceil-rounded verts_per_partition can push trailing partitions past the
+    // vertex range entirely; they are empty (guards the unsigned underflow
+    // of num_vertices - base, which made phantom vertices appear past the
+    // end of the graph).
+    if (base >= num_vertices_) {
+      return 0;
+    }
     const uint64_t remaining = num_vertices_ - base;
     return remaining < verts_per_partition_ ? remaining : verts_per_partition_;
   }

@@ -1,5 +1,26 @@
 // Compute-engine to compute-engine protocol: work stealing, accumulator
 // pulls, and the coordinator-based barrier with global-state reduction.
+//
+// Message-to-paper map (section / figure references are to the Chaos paper;
+// "Fig. 4" line numbers are the paper's pseudocode listing of the engine
+// loop, which src/core/compute_engine.h mirrors):
+//
+//   kHelpProposalReq/Resp  work stealing (§5.3-§5.4, Fig. 4 lines 23-33 for
+//                          scatter, 46-53 for gather): an idle engine
+//                          proposes to help with a partition; the master
+//                          accepts iff V + D/(H+1) < alpha * D/H (§5.4).
+//   kAccumPullReq/Resp     gather-phase accumulator reconciliation (§5.3,
+//                          Fig. 4 line 52): the master pulls each stealer's
+//                          replica accumulator array and merges it before
+//                          apply; the stealer parks its replica until taken.
+//   kBarrierArrive/Release the end-of-phase global barrier (§4, §5.2): the
+//                          coordinator (machine 0) folds every machine's
+//                          aggregator delta into the global state, runs the
+//                          program's Advance, and releases everyone with the
+//                          canonical global for the next phase. A release
+//                          can also signal a simulated whole-cluster crash
+//                          (checkpoint-recovery experiments, §6.6/Fig. 13).
+//   kControlShutdown       simulation teardown, no paper counterpart.
 #ifndef CHAOS_CORE_PROTOCOL_H_
 #define CHAOS_CORE_PROTOCOL_H_
 
@@ -20,21 +41,38 @@ enum ComputeMsgType : uint32_t {
   kControlShutdown = 306,
 };
 
+// The two streaming phases of a superstep (§4). Steal proposals carry the
+// proposer's phase so a master never hands out work for a phase it has
+// already left (the proposal is then rejected, Fig. 4 line 27).
 enum class EnginePhase : uint8_t {
   kScatter = 0,
   kGather = 1,
 };
 
+// "May I help with partition `partition`?" (Fig. 4 lines 24-26). Sent by an
+// engine that has finished its own partitions to the partition's master,
+// chosen in a random sweep order (§5.3: randomized stealing needs no load
+// information). The superstep guards against stale proposals crossing a
+// barrier.
 struct HelpProposalReq {
   PartitionId partition = 0;
   EnginePhase phase = EnginePhase::kScatter;
   uint64_t superstep = 0;
 };
 
+// The master's steal decision (§5.4, Fig. 4 lines 27-31): accept while the
+// remaining work D (estimated from its local storage's unserved bytes,
+// scaled by the machine count) justifies copying the partition's vertex set
+// V to one more helper: V + D/(H+1) < alpha * D/H. alpha is the stealing
+// bias of ClusterConfig (Fig. 18 sweeps it; 0 disables stealing).
 struct HelpProposalResp {
   bool accept = false;
 };
 
+// After closing a gather-phase partition, the master pulls the replica
+// accumulators of every helper it admitted (Fig. 4 line 52) and merges them
+// with MergeAccum before apply (§5.3: replicas make gather idempotent under
+// concurrent streaming).
 struct AccumPullReq {
   PartitionId partition = 0;
   uint64_t superstep = 0;
@@ -47,6 +85,10 @@ struct AccumPullResp {
   uint64_t updates_gathered = 0;
 };
 
+// Arrival at the end-of-phase barrier (§5.2). `local` carries the
+// machine's aggregator delta (e.g. PageRank's dangling mass, BFS's frontier
+// count); `advance` marks the gather barrier where the coordinator reduces
+// the deltas and runs Advance to decide convergence (Fig. 4 line 54).
 template <typename G>
 struct BarrierArrive {
   uint64_t phase_id = 0;  // monotonically increasing per barrier
@@ -56,6 +98,10 @@ struct BarrierArrive {
   uint64_t superstep = 0;
 };
 
+// Coordinator release: the canonical global state every machine computes
+// the next phase under. `done` ends the run (Advance returned true);
+// `crash` simulates the whole-cluster failure of the recovery experiments
+// (§6.6): engines stop without finishing, storage contents survive.
 template <typename G>
 struct BarrierRelease {
   G global{};  // canonical global state for the next phase

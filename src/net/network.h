@@ -64,10 +64,25 @@ class Network {
  public:
   Network(Simulator* sim, int machines, const NetworkConfig& config);
 
-  // Time to push `bytes` through one NIC link.
+  // Time to push `bytes` through the default-speed NIC link.
   TimeNs TxTime(uint64_t bytes) const {
     return TransferTimeNs(bytes, config_.nic_bandwidth_bps);
   }
+
+  // Time to push `bytes` through machine `m`'s NIC (honors per-machine
+  // bandwidth overrides in heterogeneous clusters).
+  TimeNs TxTime(MachineId m, uint64_t bytes) const {
+    return TransferTimeNs(bytes, links_[Index(m)].bandwidth_bps);
+  }
+
+  // Overrides one machine's NIC speed (applies to both directions). Static
+  // heterogeneity only — call before traffic starts; dynamic mid-run
+  // degradation goes through FifoResource::SetRate on the links instead.
+  void SetNicBandwidth(MachineId m, double bps) {
+    CHAOS_CHECK_GT(bps, 0.0);
+    links_[Index(m)].bandwidth_bps = bps;
+  }
+  double nic_bandwidth(MachineId m) const { return links_[Index(m)].bandwidth_bps; }
 
   FifoResource& Uplink(MachineId m) { return *links_[Index(m)].up; }
   FifoResource& Downlink(MachineId m) { return *links_[Index(m)].down; }
@@ -90,6 +105,7 @@ class Network {
   struct Link {
     std::unique_ptr<FifoResource> up;
     std::unique_ptr<FifoResource> down;
+    double bandwidth_bps = 0.0;  // per-machine NIC speed (default from config)
     uint64_t bytes_sent = 0;
     uint64_t bytes_received = 0;
   };

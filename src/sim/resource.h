@@ -3,17 +3,31 @@
 //
 // A FifoResource serves requests one at a time in arrival order. Issuing a
 // request at time t with service time s completes at
-//     done = max(t, busy_until) + s,
+//     done = max(t, busy_until) + s / rate,
 // which models queueing delay behind earlier requests exactly the way the
 // paper's storage engine behaves ("a storage engine always serves a request
 // for a chunk in its entirety before serving the next request", §6.2).
+//
+// The rate multiplier (SetRate) is the degradation hook used by the fault
+// injector: rate 1.0 is nominal hardware speed, rate 0.25 is a 4x-slower
+// brownout. Rate changes apply to the *in-flight queue* as well — every
+// queued request's projected completion is re-derived from its remaining
+// work under the new rate, and sleeping waiters are woken to re-project, so
+// a mid-run brownout stretches (and a recovery shrinks) the existing backlog
+// instead of only affecting future requests.
 #ifndef CHAOS_SIM_RESOURCE_H_
 #define CHAOS_SIM_RESOURCE_H_
 
+#include <cmath>
 #include <coroutine>
+#include <deque>
+#include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "sim/simulator.h"
+#include "sim/task.h"
 #include "sim/time.h"
 #include "util/common.h"
 
@@ -26,33 +40,67 @@ class FifoResource {
   FifoResource& operator=(const FifoResource&) = delete;
   FifoResource(FifoResource&&) = default;
 
-  // Awaitable: completes when the request has been fully serviced.
-  auto Acquire(TimeNs service) {
-    struct Awaiter {
-      FifoResource* res;
-      TimeNs service;
-      bool await_ready() const noexcept { return false; }
-      void await_suspend(std::coroutine_handle<> h) {
-        const TimeNs done = res->Reserve(service);
-        res->sim_->PostAt(done, [h] { h.resume(); });
-      }
-      void await_resume() const noexcept {}
-    };
+  // Completes when the request has been fully serviced (FIFO behind all
+  // earlier requests). `service` is the nominal (rate-1.0) service time.
+  Task<> Acquire(TimeNs service) {
     CHAOS_CHECK_GE(service, 0);
-    return Awaiter{this, service};
+    const uint64_t id = next_ticket_id_++;
+    const TimeNs start = busy_until_ > sim_->now() ? busy_until_ : sim_->now();
+    TimeNs target = start + Scaled(service, rate_);
+    busy_until_ = target;
+    total_busy_ += Scaled(service, rate_);
+    ++num_requests_;
+    queue_.push_back(Ticket{id, target, service});
+    // Sleep until the projected completion. The cached target only goes
+    // stale when SetRate re-projects the queue, so the O(queue) ticket scan
+    // is paid per rate change, not per wake — the hot no-fault path stays
+    // O(1) per request.
+    uint64_t seen_epoch = rate_epoch_;
+    while (target > sim_->now()) {
+      co_await WaitUntilOrRateChange(target);
+      if (rate_epoch_ != seen_epoch) {
+        seen_epoch = rate_epoch_;
+        target = DoneTimeOf(id);
+      }
+    }
+    PopTicket(id);
   }
 
-  // Reserves a service slot without awaiting; returns the completion time.
-  // Used by fire-and-forget paths that schedule their own continuation.
-  TimeNs Reserve(TimeNs service) {
-    CHAOS_CHECK_GE(service, 0);
-    const TimeNs start = busy_until_ > sim_->now() ? busy_until_ : sim_->now();
-    const TimeNs done = start + service;
-    busy_until_ = done;
-    total_busy_ += service;
-    ++num_requests_;
-    return done;
+  // Changes the service-rate multiplier (> 0; 1.0 = nominal). Remaining work
+  // of every queued request — including the one in service — is re-projected
+  // under the new rate.
+  void SetRate(double rate) {
+    CHAOS_CHECK_GT(rate, 0.0);
+    const TimeNs now = sim_->now();
+    if (!queue_.empty()) {
+      const TimeNs old_busy_until = busy_until_;
+      TimeNs prev = now;
+      for (size_t i = 0; i < queue_.size(); ++i) {
+        Ticket& t = queue_[i];
+        TimeNs remaining_nominal;
+        if (i == 0) {
+          // The head request is in service; convert its remaining span back
+          // to nominal work under the outgoing rate.
+          const TimeNs remaining = t.done > now ? t.done - now : 0;
+          remaining_nominal =
+              static_cast<TimeNs>(std::ceil(static_cast<double>(remaining) * rate_));
+        } else {
+          remaining_nominal = t.work;  // not started yet
+        }
+        t.done = prev + Scaled(remaining_nominal, rate);
+        prev = t.done;
+      }
+      busy_until_ = queue_.back().done;
+      // The queue is contiguous from `now`, so the busy-time delta equals
+      // the shift of the last completion.
+      total_busy_ += busy_until_ - old_busy_until;
+    }
+    rate_ = rate;
+    ++rate_epoch_;
+    WakeAllWaiters();
   }
+
+  double rate() const { return rate_; }
 
   // Queueing backlog at time `now` (0 when idle).
   TimeNs Backlog(TimeNs now) const { return busy_until_ > now ? busy_until_ - now : 0; }
@@ -61,15 +109,105 @@ class FifoResource {
   // Total service time charged; busy fraction = total_busy / horizon.
   TimeNs total_busy() const { return total_busy_; }
   uint64_t num_requests() const { return num_requests_; }
+  size_t queue_length() const { return queue_.size(); }
   const std::string& name() const { return name_; }
   Simulator* sim() const { return sim_; }
 
  private:
+  struct Ticket {
+    uint64_t id;
+    TimeNs done;  // projected completion under the current rate
+    TimeNs work;  // nominal (rate-1.0) service time
+  };
+
+  static TimeNs Scaled(TimeNs service, double rate) {
+    if (rate == 1.0 || service == 0) {
+      return service;
+    }
+    return static_cast<TimeNs>(std::ceil(static_cast<double>(service) / rate));
+  }
+
+  TimeNs DoneTimeOf(uint64_t id) const {
+    for (const Ticket& t : queue_) {
+      if (t.id == id) {
+        return t.done;
+      }
+    }
+    CHAOS_CHECK_MSG(false, "FifoResource ticket vanished: " + name_);
+    return 0;
+  }
+
+  void PopTicket(uint64_t id) {
+    // Completions are FIFO except for same-timestamp wake reordering after
+    // a rate change, so the front is the overwhelmingly common case.
+    if (!queue_.empty() && queue_.front().id == id) {
+      queue_.pop_front();
+      return;
+    }
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (it->id == id) {
+        queue_.erase(it);
+        return;
+      }
+    }
+    CHAOS_CHECK_MSG(false, "FifoResource pop of unknown ticket: " + name_);
+  }
+
+  struct RateWaiter {
+    std::shared_ptr<bool> fired;
+    std::coroutine_handle<> h;
+  };
+
+  // Awaitable resuming at absolute time `target`, or earlier if SetRate is
+  // called first. Both wake paths route through the event queue and a
+  // shared fired-flag guards double resumption, so order is deterministic.
+  struct RateChangeAwaiter {
+    FifoResource* res;
+    TimeNs target;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) {
+      // Drop entries whose waiter already resumed (their timed callback
+      // fired) so the registry tracks only live sleepers.
+      auto& waiters = res->rate_waiters_;
+      std::erase_if(waiters, [](const RateWaiter& w) { return *w.fired; });
+      auto fired = std::make_shared<bool>(false);
+      waiters.push_back(RateWaiter{fired, h});
+      res->sim_->PostAt(target, [fired, h] {
+        if (!*fired) {
+          *fired = true;
+          h.resume();
+        }
+      });
+    }
+    void await_resume() const noexcept {}
+  };
+
+  RateChangeAwaiter WaitUntilOrRateChange(TimeNs target) {
+    return RateChangeAwaiter{this, target};
+  }
+
+  void WakeAllWaiters() {
+    std::vector<RateWaiter> waiters;
+    waiters.swap(rate_waiters_);
+    for (auto& w : waiters) {
+      if (!*w.fired) {
+        *w.fired = true;  // the pending timed callback becomes a no-op
+        const auto h = w.h;
+        sim_->Post(0, [h] { h.resume(); });
+      }
+    }
+  }
+
   Simulator* sim_;
   std::string name_;
+  double rate_ = 1.0;
+  uint64_t rate_epoch_ = 0;  // bumped by SetRate; waiters re-read on change
   TimeNs busy_until_ = 0;
   TimeNs total_busy_ = 0;
   uint64_t num_requests_ = 0;
+  uint64_t next_ticket_id_ = 1;
+  std::deque<Ticket> queue_;
+  std::vector<RateWaiter> rate_waiters_;
 };
 
 }  // namespace chaos

@@ -54,6 +54,26 @@ TEST(PartitioningTest, SingleVertexBudgetAborts) {
   EXPECT_DEATH(Partitioning::Compute(100, 1, 2000, 1000), "memory_budget");
 }
 
+// Regression: with ceil-rounded verts-per-partition, trailing partitions can
+// start past the vertex range (4096 / 112 partitions -> 37 per partition,
+// partition 111 would start at 4107). Their count must be 0, not an
+// underflowed full range of phantom vertices — the overflow corrupted
+// result extraction for any (n, partitions) pair of this shape.
+TEST(PartitioningTest, TrailingPartitionsPastTheRangeAreEmpty) {
+  auto parts = Partitioning::WithPartitions(4096, 16, 112);
+  EXPECT_EQ(parts.verts_per_partition(), 37u);
+  uint64_t total = 0;
+  for (PartitionId p = 0; p < parts.num_partitions(); ++p) {
+    total += parts.Count(p);
+    if (parts.Count(p) > 0) {
+      EXPECT_LE(parts.Base(p) + parts.Count(p), 4096u);
+    }
+  }
+  EXPECT_EQ(total, 4096u);
+  EXPECT_EQ(parts.Count(111), 0u);
+  EXPECT_EQ(parts.PartitionOf(4095), 110u);  // no vertex maps to an empty one
+}
+
 // ---------------------------------------------------------- batching math
 
 TEST(BatchingTheoryTest, UtilizationFormula) {

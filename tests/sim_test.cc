@@ -373,18 +373,22 @@ TEST(ResourceTest, IdleGapsDoNotCount) {
 TEST(ResourceTest, BacklogReflectsQueue) {
   Simulator sim;
   FifoResource dev(&sim, "dev");
-  dev.Reserve(100);
-  dev.Reserve(100);
+  sim.Spawn(dev.Acquire(100));
+  sim.Spawn(dev.Acquire(100));
   EXPECT_EQ(dev.Backlog(0), 200);
   EXPECT_EQ(dev.Backlog(150), 50);
   EXPECT_EQ(dev.Backlog(500), 0);
+  sim.Run();
 }
 
-TEST(ResourceTest, ReserveReturnsCompletionTime) {
+TEST(ResourceTest, AcquireProjectsCompletionTime) {
   Simulator sim;
   FifoResource dev(&sim, "dev");
-  EXPECT_EQ(dev.Reserve(10), 10);
-  EXPECT_EQ(dev.Reserve(10), 20);
+  sim.Spawn(dev.Acquire(10));
+  EXPECT_EQ(dev.busy_until(), 10);
+  sim.Spawn(dev.Acquire(10));
+  EXPECT_EQ(dev.busy_until(), 20);
+  sim.Run();
 }
 
 TEST(ResourceTest, InterleavedArrivalsKeepFifoOrder) {
