@@ -11,6 +11,12 @@
 //   chaos_run --algo pagerank --scale 17 --machines 4 --cores 1
 //             --storage-bw-mbps 2000 --partitions-per-machine 16
 //             --straggler 0 --straggler-severity 8
+//
+// Machine-failure recovery (reproduces bench fig_recovery): kill machine 2
+// mid-run, recover automatically from the last committed checkpoint —
+// on the N-1 survivors with --rescale, on a same-size cluster without:
+//   chaos_run --algo pagerank --scale 16 --machines 8
+//             --checkpoint-interval 2 --kill-machine 2 --kill-at 0.08
 #include <cstdio>
 #include <fstream>
 
@@ -44,6 +50,10 @@ int main(int argc, char** argv) {
   opt.AddDouble("fault-at-ms", 0.0, "simulated time the degradation begins");
   opt.AddDouble("fault-duration-ms", 0.0, "degradation length (0 = permanent)");
   opt.AddInt("checkpoint-interval", 0, "checkpoint every N supersteps (0 = off)");
+  opt.AddInt("kill-machine", -1, "fail-stop this machine mid-run (-1 = none)");
+  opt.AddDouble("kill-at", 0.5,
+                "simulated failure time in SECONDS (note: --fault-at-ms is in ms)");
+  opt.AddBool("rescale", false, "recover on N-1 machines instead of a same-size cluster");
   opt.AddInt("source", 0, "source vertex (bfs/sssp)");
   opt.AddInt("iterations", 5, "iterations (pagerank/bp)");
   opt.AddInt("seed", 1, "seed");
@@ -164,13 +174,60 @@ int main(int argc, char** argv) {
                 fault.permanent() ? "permanent" : "transient");
   }
 
+  // ---- Machine failure + automatic recovery.
+  const auto kill_machine = static_cast<MachineId>(opt.GetInt("kill-machine"));
+  RecoveryOptions recovery;
+  if (kill_machine >= 0) {
+    if (kill_machine >= cfg.machines) {
+      std::fprintf(stderr, "--kill-machine must be in [0, %d)\n", cfg.machines);
+      return 1;
+    }
+    if (opt.GetBool("rescale") && cfg.machines < 2) {
+      std::fprintf(stderr, "--rescale needs at least 2 machines (cannot shrink below 1)\n");
+      return 1;
+    }
+    FaultEvent kill;
+    kill.at = static_cast<TimeNs>(opt.GetDouble("kill-at") * static_cast<double>(kNsPerSec));
+    kill.machine = kill_machine;
+    kill.target = FaultTarget::kMachine;
+    kill.kind = FaultKind::kMachineCrash;
+    cfg.faults.Add(kill);
+    if (opt.GetBool("rescale")) {
+      recovery.replacement_machines = cfg.machines - 1;
+    }
+    std::printf("injecting: machine %d fails (fail-stop) at %.3fs; recovery on %d machines\n",
+                kill_machine, opt.GetDouble("kill-at"),
+                recovery.replacement_machines > 0 ? recovery.replacement_machines
+                                                  : cfg.machines);
+  }
+
   AlgoParams params;
   params.source = static_cast<VertexId>(opt.GetInt("source"));
   params.iterations = static_cast<uint32_t>(opt.GetInt("iterations"));
-  auto result = RunChaosAlgorithm(algo, prepared, cfg, params);
+  RecoveryReport recovery_report;
+  auto result = kill_machine >= 0
+                    ? RunChaosAlgorithmWithRecovery(algo, prepared, cfg, params, recovery,
+                                                    &recovery_report)
+                    : RunChaosAlgorithm(algo, prepared, cfg, params);
 
   // ---- Report.
   std::printf("\n%s", result.metrics.Summary().c_str());
+  if (kill_machine >= 0) {
+    if (!recovery_report.crash_detected) {
+      std::printf("machine failure never fired (run finished at %.3fs, before --kill-at)\n",
+                  ToSeconds(result.metrics.total_time));
+    } else {
+      std::printf(
+          "recovery: %s at superstep %llu, lost %llu superstep(s), "
+          "time-to-recover %s, end-to-end %s\n",
+          recovery_report.recovered_from_checkpoint ? "resumed from checkpoint"
+                                                    : "restarted from input",
+          static_cast<unsigned long long>(recovery_report.resume_superstep),
+          static_cast<unsigned long long>(recovery_report.lost_work_supersteps),
+          FormatSeconds(ToSeconds(recovery_report.time_to_recover)).c_str(),
+          FormatSeconds(ToSeconds(recovery_report.end_to_end_time)).c_str());
+    }
+  }
   std::printf("supersteps: %llu\n", static_cast<unsigned long long>(result.supersteps));
   if (algo == "conductance") {
     std::printf("conductance: %.6f\n", result.scalar);

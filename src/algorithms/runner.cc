@@ -8,10 +8,46 @@
 namespace chaos {
 namespace {
 
+// Calls `fn(prog)` with the named algorithm's program instance. All three
+// type-erased entry points funnel through here.
+template <typename Fn>
+auto DispatchAlgorithm(const std::string& name, const AlgoParams& params, Fn&& fn) {
+  if (name == "bfs") {
+    return fn(BfsProgram(params.source));
+  }
+  if (name == "wcc") {
+    return fn(WccProgram{});
+  }
+  if (name == "mcst") {
+    return fn(McstProgram{});
+  }
+  if (name == "mis") {
+    return fn(MisProgram{});
+  }
+  if (name == "sssp") {
+    return fn(SsspProgram(params.source));
+  }
+  if (name == "pagerank") {
+    return fn(PageRankProgram(params.iterations, params.damping));
+  }
+  if (name == "scc") {
+    return fn(SccProgram{});
+  }
+  if (name == "conductance") {
+    return fn(ConductanceProgram{});
+  }
+  if (name == "spmv") {
+    return fn(SpmvProgram{});
+  }
+  if (name == "bp") {
+    return fn(BpProgram(params.iterations, params.bp_damping));
+  }
+  CHAOS_CHECK_MSG(false, "unknown algorithm: " + name);
+  return fn(BfsProgram(params.source));
+}
+
 template <GasProgram P>
-AlgoResult RunChaosWith(P prog, const InputGraph& input, const ClusterConfig& config) {
-  Cluster<P> cluster(config, std::move(prog));
-  RunResult<P> run = cluster.Run(input);
+AlgoResult ToAlgoResult(RunResult<P>&& run) {
   AlgoResult result;
   result.metrics = std::move(run.metrics);
   result.values = std::move(run.values);
@@ -29,6 +65,12 @@ AlgoResult RunChaosWith(P prog, const InputGraph& input, const ClusterConfig& co
     result.scalar = total;
   }
   return result;
+}
+
+template <GasProgram P>
+AlgoResult RunChaosWith(P prog, const InputGraph& input, const ClusterConfig& config) {
+  Cluster<P> cluster(config, std::move(prog));
+  return ToAlgoResult(cluster.Run(input));
 }
 
 template <GasProgram P>
@@ -94,74 +136,25 @@ InputGraph PrepareInput(const std::string& name, const InputGraph& raw) {
 
 AlgoResult RunChaosAlgorithm(const std::string& name, const InputGraph& prepared,
                              const ClusterConfig& config, const AlgoParams& params) {
-  if (name == "bfs") {
-    return RunChaosWith(BfsProgram(params.source), prepared, config);
-  }
-  if (name == "wcc") {
-    return RunChaosWith(WccProgram{}, prepared, config);
-  }
-  if (name == "mcst") {
-    return RunChaosWith(McstProgram{}, prepared, config);
-  }
-  if (name == "mis") {
-    return RunChaosWith(MisProgram{}, prepared, config);
-  }
-  if (name == "sssp") {
-    return RunChaosWith(SsspProgram(params.source), prepared, config);
-  }
-  if (name == "pagerank") {
-    return RunChaosWith(PageRankProgram(params.iterations, params.damping), prepared, config);
-  }
-  if (name == "scc") {
-    return RunChaosWith(SccProgram{}, prepared, config);
-  }
-  if (name == "conductance") {
-    return RunChaosWith(ConductanceProgram{}, prepared, config);
-  }
-  if (name == "spmv") {
-    return RunChaosWith(SpmvProgram{}, prepared, config);
-  }
-  if (name == "bp") {
-    return RunChaosWith(BpProgram(params.iterations, params.bp_damping), prepared, config);
-  }
-  CHAOS_CHECK_MSG(false, "unknown algorithm: " + name);
-  return {};
+  return DispatchAlgorithm(name, params, [&](auto prog) {
+    return RunChaosWith(std::move(prog), prepared, config);
+  });
+}
+
+AlgoResult RunChaosAlgorithmWithRecovery(const std::string& name, const InputGraph& prepared,
+                                         const ClusterConfig& config, const AlgoParams& params,
+                                         const RecoveryOptions& recovery,
+                                         RecoveryReport* report) {
+  return DispatchAlgorithm(name, params, [&](auto prog) {
+    return ToAlgoResult(RunWithRecovery(config, std::move(prog), prepared, recovery, report));
+  });
 }
 
 XStreamRunResult RunXStreamAlgorithm(const std::string& name, const InputGraph& prepared,
                                      const XStreamConfig& config, const AlgoParams& params) {
-  if (name == "bfs") {
-    return RunXStreamWith(BfsProgram(params.source), prepared, config);
-  }
-  if (name == "wcc") {
-    return RunXStreamWith(WccProgram{}, prepared, config);
-  }
-  if (name == "mcst") {
-    return RunXStreamWith(McstProgram{}, prepared, config);
-  }
-  if (name == "mis") {
-    return RunXStreamWith(MisProgram{}, prepared, config);
-  }
-  if (name == "sssp") {
-    return RunXStreamWith(SsspProgram(params.source), prepared, config);
-  }
-  if (name == "pagerank") {
-    return RunXStreamWith(PageRankProgram(params.iterations, params.damping), prepared, config);
-  }
-  if (name == "scc") {
-    return RunXStreamWith(SccProgram{}, prepared, config);
-  }
-  if (name == "conductance") {
-    return RunXStreamWith(ConductanceProgram{}, prepared, config);
-  }
-  if (name == "spmv") {
-    return RunXStreamWith(SpmvProgram{}, prepared, config);
-  }
-  if (name == "bp") {
-    return RunXStreamWith(BpProgram(params.iterations, params.bp_damping), prepared, config);
-  }
-  CHAOS_CHECK_MSG(false, "unknown algorithm: " + name);
-  return {};
+  return DispatchAlgorithm(name, params, [&](auto prog) {
+    return RunXStreamWith(std::move(prog), prepared, config);
+  });
 }
 
 }  // namespace chaos

@@ -8,6 +8,7 @@
 
 #include "baselines/xstream.h"
 #include "core/cluster.h"
+#include "core/recovery.h"
 #include "graph/types.h"
 
 namespace chaos {
@@ -48,6 +49,18 @@ struct AlgoResult {
 // gone through PrepareInput.
 AlgoResult RunChaosAlgorithm(const std::string& name, const InputGraph& prepared,
                              const ClusterConfig& config, const AlgoParams& params = {});
+
+// Same, but with automatic machine-failure recovery (core/recovery.h): if
+// the run aborts on a fault-injected MachineCrash, a replacement cluster —
+// same size, or `recovery.replacement_machines` — is re-provisioned from
+// the last committed checkpoint and the run resumes. The returned metrics
+// carry the recovery accounting; `report`, when non-null, gets the full
+// timeline.
+AlgoResult RunChaosAlgorithmWithRecovery(const std::string& name, const InputGraph& prepared,
+                                         const ClusterConfig& config,
+                                         const AlgoParams& params = {},
+                                         const RecoveryOptions& recovery = {},
+                                         RecoveryReport* report = nullptr);
 
 struct XStreamRunResult {
   std::vector<double> values;

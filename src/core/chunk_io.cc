@@ -101,8 +101,11 @@ Task<> ChunkFetcher::Worker() {
     // *requests* outstanding) — and the master's storage-side D estimate
     // (§5.4) would undercount remaining work whenever a scan is CPU-bound,
     // e.g. on a degraded straggler machine.
-    while (credits_ == 0 && engines_left_ > 0) {
+    while (credits_ == 0 && engines_left_ > 0 && !cancelled_) {
       co_await cond_.Wait();
+    }
+    if (cancelled_) {
+      break;
     }
     const MachineId target = PickTarget();
     if (target == kNoMachine) {
@@ -139,11 +142,11 @@ Task<> ChunkFetcher::Worker() {
 Task<> ChunkFetcher::DirectoryWorker() {
   DirectoryServer* dir = ctx_->directory;
   CHAOS_CHECK(dir != nullptr);
-  while (!directory_exhausted_) {
-    while (credits_ == 0 && !directory_exhausted_) {
+  while (!directory_exhausted_ && !cancelled_) {
+    while (credits_ == 0 && !directory_exhausted_ && !cancelled_) {
       co_await cond_.Wait();
     }
-    if (directory_exhausted_) {
+    if (directory_exhausted_ || cancelled_) {
       break;
     }
     --credits_;
@@ -176,6 +179,16 @@ Task<> ChunkFetcher::DirectoryWorker() {
   if (--workers_active_ == 0) {
     cond_.NotifyAll();
   }
+}
+
+Task<> ChunkFetcher::Cancel() {
+  CHAOS_CHECK(started_);
+  cancelled_ = true;
+  cond_.NotifyAll();
+  while (workers_active_ > 0) {
+    co_await cond_.Wait();
+  }
+  ready_.clear();
 }
 
 Task<std::optional<Chunk>> ChunkFetcher::Next() {

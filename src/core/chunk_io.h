@@ -72,6 +72,12 @@ class ChunkFetcher {
   // Next chunk, or nullopt when the set is exhausted for this epoch.
   Task<std::optional<Chunk>> Next();
 
+  // Abandons the scan: stops issuing requests, lets in-flight ones complete
+  // and waits for every worker to exit, then discards buffered chunks.
+  // Unserved chunks stay in storage. Used by an engine whose machine was
+  // fault-killed mid-scan, so its coroutines drain instead of leaking.
+  Task<> Cancel();
+
   uint64_t chunks_fetched() const { return chunks_fetched_; }
   uint64_t bytes_fetched() const { return bytes_fetched_; }
 
@@ -98,6 +104,7 @@ class ChunkFetcher {
   int engines_left_ = 0;
   int workers_active_ = 0;
   bool directory_exhausted_ = false;
+  bool cancelled_ = false;
   bool started_ = false;
   uint64_t chunks_fetched_ = 0;
   uint64_t bytes_fetched_ = 0;

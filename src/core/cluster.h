@@ -110,11 +110,139 @@ class Cluster {
         if (id.kind != kind) {
           continue;
         }
+        const SetId target{id.partition, as};
         const auto* chunks = src->HostGetSet(id);
         for (const Chunk& c : *chunks) {
-          storage_[static_cast<size_t>(m)]->HostAddChunk(SetId{id.partition, as},
+          // Sequential sets are located through the directory in
+          // kCentralDirectory mode: imported chunks must be registered or
+          // the recovered run's scans would see an empty set.
+          if (directory_ != nullptr && !IsIndexedKind(as)) {
+            directory_->HostRecord(target, c.index, m);
+          }
+          storage_[static_cast<size_t>(m)]->HostAddChunk(target,
                                                          src->HostMaterialize(id, c));
         }
+      }
+    }
+  }
+
+  // Host-side: reassembles the full per-vertex state array from an indexed
+  // vertex/checkpoint set of this cluster (the inverse of WriteVertexSet).
+  // Returns false if any chunk is missing — only possible for a run that
+  // crashed before vertex-set initialization completed.
+  bool TryHostReadStates(SetKind kind, std::vector<VState>* out) const {
+    CHAOS_CHECK(parts_ != nullptr);
+    out->assign(parts_->num_vertices(), VState{});
+    const uint64_t per_chunk = std::max<uint64_t>(1, config_.chunk_bytes / sizeof(VState));
+    for (PartitionId p = 0; p < parts_->num_partitions(); ++p) {
+      const VertexId base = parts_->Base(p);
+      const uint64_t count = parts_->Count(p);
+      const auto nchunks = static_cast<uint32_t>((count + per_chunk - 1) / per_chunk);
+      for (uint32_t idx = 0; idx < nchunks; ++idx) {
+        const MachineId home = VertexChunkHome(p, idx, config_.machines);
+        const SetId set{p, kind};
+        const auto* chunks = storage_[static_cast<size_t>(home)]->HostGetSet(set);
+        if (chunks == nullptr) {
+          return false;
+        }
+        const Chunk* found = nullptr;
+        for (const Chunk& c : *chunks) {
+          if (c.index == idx) {
+            found = &c;
+            break;
+          }
+        }
+        if (found == nullptr) {
+          return false;
+        }
+        const Chunk loaded = storage_[static_cast<size_t>(home)]->HostMaterialize(set, *found);
+        auto span = ChunkSpan<VState>(loaded);
+        const uint64_t start = base + static_cast<uint64_t>(idx) * per_chunk;
+        CHAOS_CHECK_LE(start + span.size(), out->size());
+        std::copy(span.begin(), span.end(), out->begin() + static_cast<int64_t>(start));
+      }
+    }
+    return true;
+  }
+
+  void HostReadStates(SetKind kind, std::vector<VState>* out) const {
+    CHAOS_CHECK_MSG(TryHostReadStates(kind, out),
+                    "missing vertex chunks in " + std::string(SetKindName(kind)) + " set");
+  }
+
+  // Re-imports the durable state of a crashed cluster whose machine count
+  // differs from ours (rescaled recovery, e.g. N-1 survivors): vertex states
+  // are reassembled from `vertex_source` (the committed checkpoint side)
+  // under the old partitioning, then re-chunked under THIS cluster's
+  // partitioning and placed at their new hashed homes; edges are re-binned
+  // by the new vertex ranges. Call PreparePartitioning first. Also valid
+  // for equal machine counts, where ImportSets is the cheaper path.
+  void ImportRepartitioned(Cluster<P>& from, SetKind vertex_source, const GraphMeta& meta) {
+    CHAOS_CHECK(parts_ != nullptr);
+    CHAOS_CHECK_EQ(from.partitioning().num_vertices(), parts_->num_vertices());
+
+    // ---- vertex states: old chunking -> flat array -> new chunking.
+    std::vector<VState> states;
+    from.HostReadStates(vertex_source, &states);
+    const uint64_t per_chunk = std::max<uint64_t>(1, config_.chunk_bytes / sizeof(VState));
+    for (PartitionId q = 0; q < parts_->num_partitions(); ++q) {
+      const VertexId base = parts_->Base(q);
+      const uint64_t count = parts_->Count(q);
+      for (uint64_t start = 0, idx = 0; start < count; start += per_chunk, ++idx) {
+        const uint64_t n = std::min(per_chunk, count - start);
+        std::vector<VState> slice(states.begin() + static_cast<int64_t>(base + start),
+                                  states.begin() + static_cast<int64_t>(base + start + n));
+        const MachineId home =
+            VertexChunkHome(q, static_cast<uint32_t>(idx), config_.machines);
+        storage_[static_cast<size_t>(home)]->HostAddChunk(
+            SetId{q, SetKind::kVertices},
+            MakeChunk<VState>(static_cast<uint32_t>(idx), n * sizeof(VState),
+                              std::move(slice)));
+      }
+    }
+
+    // ---- edges: drain every surviving edge chunk and re-bin by the new
+    // partition of the source vertex, mirroring IngestInput's placement.
+    const uint64_t per_edge_chunk =
+        std::max<uint64_t>(1, config_.chunk_bytes / meta.edge_wire_bytes);
+    std::vector<std::vector<Edge>> bins(parts_->num_partitions());
+    std::vector<uint32_t> next_index(parts_->num_partitions(), 0);
+    Rng rng(HashCombine(config_.seed, 0x4ec0u));
+    auto flush = [&](PartitionId q) {
+      const uint64_t wire = bins[q].size() * meta.edge_wire_bytes;
+      const SetId set{q, SetKind::kEdges};
+      const MachineId target =
+          config_.placement == Placement::kLocalMaster
+              ? parts_->Master(q)
+              : static_cast<MachineId>(rng.Below(static_cast<uint64_t>(config_.machines)));
+      if (directory_ != nullptr) {
+        directory_->HostRecord(set, next_index[q], target);
+      }
+      storage_[static_cast<size_t>(target)]->HostAddChunk(
+          set, MakeChunk<Edge>(next_index[q]++, wire, std::move(bins[q])));
+      bins[q] = {};
+    };
+    for (MachineId m = 0; m < from.config().machines; ++m) {
+      StorageEngine* src = from.storage(m);
+      for (const SetId& id : src->HostListSets()) {
+        if (id.kind != SetKind::kEdges) {
+          continue;
+        }
+        for (const Chunk& c : *src->HostGetSet(id)) {
+          const Chunk loaded = src->HostMaterialize(id, c);
+          for (const Edge& e : ChunkSpan<Edge>(loaded)) {
+            const PartitionId q = parts_->PartitionOf(e.src);
+            bins[q].push_back(e);
+            if (bins[q].size() >= per_edge_chunk) {
+              flush(q);
+            }
+          }
+        }
+      }
+    }
+    for (PartitionId q = 0; q < parts_->num_partitions(); ++q) {
+      if (!bins[q].empty()) {
+        flush(q);
       }
     }
   }
@@ -213,6 +341,7 @@ class Cluster {
     result.metrics.network_bytes = net_->total_bytes();
     result.metrics.incast_events = net_->incast_events();
     result.metrics.messages = bus_->messages_delivered();
+    result.metrics.superstep_end_times = engines_[0]->superstep_end_times();
     if (injector_ != nullptr) {
       result.metrics.faults = injector_->records();
     }
@@ -275,36 +404,14 @@ class Cluster {
   }
 
   void ExtractStates(uint64_t num_vertices, RunResult<P>* result) {
-    result->states.assign(num_vertices, VState{});
-    const uint64_t per_chunk =
-        std::max<uint64_t>(1, config_.chunk_bytes / sizeof(VState));
-    for (PartitionId p = 0; p < parts_->num_partitions(); ++p) {
-      const VertexId base = parts_->Base(p);
-      const uint64_t count = parts_->Count(p);
-      const auto nchunks = static_cast<uint32_t>((count + per_chunk - 1) / per_chunk);
-      for (uint32_t idx = 0; idx < nchunks; ++idx) {
-        const MachineId home = VertexChunkHome(p, idx, config_.machines);
-        const auto* chunks =
-            storage_[static_cast<size_t>(home)]->HostGetSet(SetId{p, SetKind::kVertices});
-        CHAOS_CHECK_MSG(chunks != nullptr, "missing vertex set for partition");
-        const Chunk* found = nullptr;
-        for (const Chunk& c : *chunks) {
-          if (c.index == idx) {
-            found = &c;
-            break;
-          }
-        }
-        CHAOS_CHECK_MSG(found != nullptr, "missing vertex chunk at extraction");
-        const Chunk loaded =
-            storage_[static_cast<size_t>(home)]->HostMaterialize(SetId{p, SetKind::kVertices},
-                                                                 *found);
-        auto span = ChunkSpan<VState>(loaded);
-        const uint64_t start = base + static_cast<uint64_t>(idx) * per_chunk;
-        for (size_t i = 0; i < span.size(); ++i) {
-          result->states[start + i] = span[i];
-        }
-      }
+    if (!TryHostReadStates(SetKind::kVertices, &result->states)) {
+      // A machine died before vertex-set initialization finished: there is
+      // no meaningful state to extract (recovery restarts from the input).
+      CHAOS_CHECK_MSG(result->crashed, "missing vertex chunks after a completed run");
+      result->states.clear();
+      return;
     }
+    CHAOS_CHECK_EQ(result->states.size(), num_vertices);
     result->values.reserve(num_vertices);
     for (const VState& s : result->states) {
       result->values.push_back(prog_.Extract(s));

@@ -175,12 +175,27 @@ class ComputeEngine {
   const G& final_global() const { return global_; }
   const std::vector<Out>& outputs() const { return outputs_; }
   TimeNs preprocess_end_time() const { return preprocess_end_time_; }
+  // Coordinator-side (machine 0): sim time at the end of each completed
+  // superstep, indexed from the first superstep this run executed. Recovery
+  // reads this to measure the time to re-reach the point of failure.
+  const std::vector<TimeNs>& superstep_end_times() const { return superstep_end_times_; }
   // Global state and superstep captured at the last committed checkpoint.
   const G& checkpointed_global() const { return checkpointed_global_; }
   uint64_t checkpointed_superstep() const { return checkpointed_superstep_; }
   bool has_checkpoint() const { return has_checkpoint_; }
 
  private:
+  // True once a MachineCrash fault has killed this machine. The engine
+  // polls this at loop boundaries: streams are abandoned, new stealing
+  // stops, and the next barrier arrival is flagged `failed`, which makes
+  // the coordinator abort the run cluster-wide. Protocol handshakes that
+  // peers are already blocked on (accumulator pulls, parked replicas)
+  // still complete so the simulation drains — the *work* dies, the wires
+  // stay up just long enough to tear down.
+  bool Dead() const {
+    return ctx_.faults != nullptr && ctx_.faults->dead(ctx_.machine);
+  }
+
   // ----- epochs: every distinct sequential scan gets a unique epoch id.
   uint64_t ScatterEpoch() const { return 3 + 2 * superstep_; }
   uint64_t GatherEpoch() const { return 4 + 2 * superstep_; }
@@ -206,21 +221,27 @@ class ComputeEngine {
       superstep_ = ctx_.config->resume_superstep;
       start_superstep_ = ctx_.config->resume_superstep;
     }
-    co_await Barrier(/*advance=*/false);
-    if (ctx_.machine == 0) {
+    if (!aborted_) {
+      co_await Barrier(/*advance=*/false);
+    }
+    // Recorded on the healthy path only: a zero preprocess time is how a
+    // crash-during-preprocessing run is recognized (no superstep entered).
+    if (ctx_.machine == 0 && !aborted_) {
       preprocess_end_time_ = ctx_.sim->now();
     }
-    while (true) {
+    while (!aborted_) {
       CHAOS_CHECK_MSG(superstep_ - start_superstep_ < ctx_.config->max_supersteps,
                       "superstep limit exceeded; algorithm not converging?");
       if (prog_->WantScatter(global_)) {
         co_await ScatterPhase();
         co_await Barrier(/*advance=*/false);
+        if (aborted_) {
+          break;
+        }
       }
       co_await GatherPhase();
       const auto [done, crash] = co_await Barrier(/*advance=*/true);
       if (crash) {
-        crashed_ = true;
         break;
       }
       // The final superstep's checkpoint copy is written during its gather
@@ -231,12 +252,16 @@ class ComputeEngine {
                                   (superstep_ + 1) % ctx_.config->checkpoint_interval == 0;
       if (checkpoint_due) {
         co_await CommitCheckpoint();
+        if (aborted_) {
+          break;
+        }
       }
       ++superstep_;
       if (done) {
         break;
       }
     }
+    crashed_ = aborted_;
     // Stop this machine's control server.
     Message stop;
     stop.src = ctx_.machine;
@@ -266,6 +291,10 @@ class ComputeEngine {
                                                                              : kNoMachine);
       fetcher.Start();
       while (true) {
+        if (Dead()) {
+          co_await fetcher.Cancel();
+          break;
+        }
         std::optional<Chunk> chunk = co_await fetcher.Next();
         if (!chunk.has_value()) {
           break;
@@ -295,6 +324,9 @@ class ComputeEngine {
       co_await writer.Drain();
     }
     co_await Barrier(/*advance=*/false);
+    if (aborted_) {
+      co_return;  // a machine died during pre-processing: no state to init
+    }
 
     // Vertex-set initialization for owned partitions.
     ChunkWriter writer(&ctx_, &rng_, ctx_.config->fetch_window());
@@ -416,10 +448,14 @@ class ComputeEngine {
     for (const PartitionId p : own_partitions_) {
       co_await ProcessPartitionScatter(p, /*stolen=*/false, &binner, &writer);
     }
-    if (ctx_.config->stealing_enabled()) {
+    if (ctx_.config->stealing_enabled() && !Dead()) {
       co_await StealLoop(EnginePhase::kScatter, &binner, &writer);
     }
-    co_await binner.FlushAll(&writer, UpdatesFor(superstep_));
+    if (!Dead()) {
+      // A dead machine's buffered emissions are lost with it; the aborted
+      // superstep is re-run from the checkpoint anyway.
+      co_await binner.FlushAll(&writer, UpdatesFor(superstep_));
+    }
     co_await writer.Drain();
     metrics_->updates_emitted += binner.emitted();
     phase_ = EnginePhase::kGather;  // proposals for scatter now rejected
@@ -448,6 +484,10 @@ class ComputeEngine {
                                                                            : kNoMachine);
     fetcher.Start();
     while (true) {
+      if (Dead()) {
+        co_await fetcher.Cancel();
+        break;
+      }
       std::optional<Chunk> chunk = co_await fetcher.Next();
       if (!chunk.has_value()) {
         break;
@@ -476,13 +516,18 @@ class ComputeEngine {
     // Emissions produced during gather/apply feed the *next* superstep.
     RecordBinner<Rec> binner(parts_, update_wire_, ctx_.config->chunk_bytes);
     ChunkWriter writer(&ctx_, &rng_, ctx_.config->fetch_window());
+    // A dead master still visits every owned partition: registered gather
+    // stealers are parked on the accumulator handshake and must be released
+    // even though the superstep is doomed (streams themselves abort early).
     for (const PartitionId p : own_partitions_) {
       co_await ProcessPartitionGatherMaster(p, &binner, &writer);
     }
-    if (ctx_.config->stealing_enabled()) {
+    if (ctx_.config->stealing_enabled() && !Dead()) {
       co_await StealLoop(EnginePhase::kGather, &binner, &writer);
     }
-    co_await binner.FlushAll(&writer, UpdatesFor(superstep_ + 1));
+    if (!Dead()) {
+      co_await binner.FlushAll(&writer, UpdatesFor(superstep_ + 1));
+    }
     co_await writer.Drain();
     metrics_->updates_emitted += binner.emitted();
     phase_ = EnginePhase::kScatter;
@@ -510,6 +555,10 @@ class ComputeEngine {
                                                                            : kNoMachine);
     fetcher.Start();
     while (true) {
+      if (Dead()) {
+        co_await fetcher.Cancel();
+        break;
+      }
       std::optional<Chunk> chunk = co_await fetcher.Next();
       if (!chunk.has_value()) {
         break;
@@ -581,8 +630,9 @@ class ComputeEngine {
     }
 
     // Checkpoint copy, written while the state is hot (2-phase step 1, §6.6).
+    // A dead machine writes none — its superstep will never commit.
     const bool checkpoint_due =
-        ctx_.config->checkpoint_interval > 0 &&
+        ctx_.config->checkpoint_interval > 0 && !Dead() &&
         (superstep_ + 1) % ctx_.config->checkpoint_interval == 0;
     if (checkpoint_due) {
       BucketTimer t(ctx_.sim, metrics_, Bucket::kCheckpoint);
@@ -656,10 +706,13 @@ class ComputeEngine {
   }
 
   Task<> StealLoop(EnginePhase phase, RecordBinner<Rec>* binner, ChunkWriter* writer) {
-    while (true) {
+    while (!Dead()) {
       bool any_accept = false;
       std::vector<uint32_t> order = rng_.Permutation(parts_->num_partitions());
       for (const PartitionId p : order) {
+        if (Dead()) {
+          break;
+        }
         if (parts_->Master(p) == ctx_.machine) {
           continue;
         }
@@ -700,7 +753,9 @@ class ComputeEngine {
           const auto& req = std::any_cast<const HelpProposalReq&>(m.body);
           ++metrics_->proposals_received;
           bool accept = false;
-          if (ctx_.config->stealing_enabled() && req.superstep == superstep_ &&
+          // A dead master accepts no new helpers (its superstep is doomed);
+          // already-admitted stealers are drained by the handshake.
+          if (ctx_.config->stealing_enabled() && !Dead() && req.superstep == superstep_ &&
               req.phase == phase_ && own_status_.count(req.partition) != 0) {
             accept = StealDecision(req.partition, req.phase);
             if (accept) {
@@ -757,6 +812,7 @@ class ComputeEngine {
     body.local = local_;
     body.vertices_changed = changed_;
     body.advance = advance;
+    body.failed = Dead();  // barrier doubles as the failure detector (§6.6)
     body.superstep = superstep_;
     req.body = body;
     Message resp = co_await ctx_.bus->Call(std::move(req));
@@ -764,6 +820,11 @@ class ComputeEngine {
     global_ = release.global;
     local_ = prog_->InitLocal();
     changed_ = 0;
+    if (release.crash) {
+      // The coordinator stops serving barriers after a crash release; every
+      // caller must unwind to Main without arriving at another barrier.
+      aborted_ = true;
+    }
     co_return std::make_pair(release.done, release.crash);
   }
 
@@ -785,7 +846,13 @@ class ComputeEngine {
       const bool advance = first.advance;
       const uint64_t superstep = first.superstep;
       bool done = false;
+      // Failure detection (§6.6): any flagged arrival — at any barrier —
+      // aborts the run cluster-wide. Recovery is a fresh cluster resuming
+      // from the last committed checkpoint (core/recovery.h).
       bool crash = false;
+      for (const Message& msg : arrivals) {
+        crash = crash || std::any_cast<const BarrierArrive<G>&>(msg.body).failed;
+      }
       if (advance) {
         G folded = canonical;
         uint64_t changed = 0;
@@ -798,8 +865,11 @@ class ComputeEngine {
         }
         done = prog_->Advance(folded, superstep, changed);
         canonical = folded;
-        crash = ctx_.config->crash_after_superstep >= 0 &&
-                static_cast<uint64_t>(ctx_.config->crash_after_superstep) == superstep;
+        crash = crash || (ctx_.config->crash_after_superstep >= 0 &&
+                          static_cast<uint64_t>(ctx_.config->crash_after_superstep) == superstep);
+        if (!crash) {
+          superstep_end_times_.push_back(ctx_.sim->now());
+        }
       }
       for (const Message& msg : arrivals) {
         BarrierRelease<G> release;
@@ -808,7 +878,7 @@ class ComputeEngine {
         release.crash = crash;
         ctx_.bus->PostReply(msg, kBarrierRelease, kControlMsgBytes + sizeof(G), release);
       }
-      if (advance && (done || crash)) {
+      if (crash || (advance && done)) {
         co_return;
       }
     }
@@ -822,13 +892,20 @@ class ComputeEngine {
 
   // 2-phase commit: all checkpoint data is durable (written during gather)
   // before the commit barrier; the previous side is deleted only afterwards.
+  // The phase-1 barrier is the commit point — a machine failure detected at
+  // or after it leaves the new side committed and recoverable, while one
+  // detected before it leaves the previous checkpoint in force.
   Task<> CommitCheckpoint() {
     co_await Barrier(/*advance=*/false);  // phase 1: all writes acked cluster-wide
+    if (aborted_) {
+      co_return;  // failure before the commit point: this checkpoint never was
+    }
     checkpointed_global_ = global_;
     checkpointed_superstep_ = superstep_ + 1;
     has_checkpoint_ = true;
     const SetKind old_side =
         checkpoint_counter_ % 2 == 0 ? SetKind::kCheckpointB : SetKind::kCheckpointA;
+    ++checkpoint_counter_;  // commit point passed: the new side is current
     {
       BucketTimer t(ctx_.sim, metrics_, Bucket::kCheckpoint);
       for (const PartitionId p : own_partitions_) {
@@ -837,7 +914,6 @@ class ComputeEngine {
       }
     }
     co_await Barrier(/*advance=*/false);  // phase 2: commit visible everywhere
-    ++checkpoint_counter_;
   }
 
  public:
@@ -884,8 +960,10 @@ class ComputeEngine {
   uint64_t checkpointed_superstep_ = 0;
   bool has_checkpoint_ = false;
   TimeNs preprocess_end_time_ = 0;
+  std::vector<TimeNs> superstep_end_times_;  // machine 0 only (coordinator)
   bool finished_ = false;
   bool crashed_ = false;
+  bool aborted_ = false;  // a barrier released with crash: unwind, no more arrivals
 };
 
 }  // namespace chaos

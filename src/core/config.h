@@ -77,16 +77,29 @@ struct ClusterConfig {
 
   Placement placement = Placement::kRandom;
 
-  // Checkpoint every N supersteps (0 = off), 2-phase protocol (§6.6).
+  // Checkpoint every N supersteps (0 = off, the default), 2-phase protocol
+  // (§6.6). Units: supersteps. The checkpoint copy is written during gather
+  // (ComputeEngine::ProcessPartitionGatherMaster) and committed at the
+  // phase-1 barrier of ComputeEngine::CommitCheckpoint; the recovery driver
+  // (core/recovery.h) and bench fig13/fig_recovery consume the result.
   uint32_t checkpoint_interval = 0;
 
-  // Simulated crash: stop all compute engines after the gather barrier of
-  // this superstep (-1 = never). Storage contents survive for recovery.
+  // Scripted whole-cluster crash: stop all compute engines after the gather
+  // barrier of this superstep (units: absolute superstep index; -1 = never,
+  // the default). Storage contents survive for recovery. Consumed by the
+  // barrier coordinator (ComputeEngine::BarrierService); for a *machine*
+  // failure mid-run use FaultSchedule::MachineCrash in `faults` instead.
   int64_t crash_after_superstep = -1;
 
-  // Resume a crashed run: skip pre-processing; vertex and edge sets must
-  // already be present in storage (imported from a checkpoint).
+  // Resume a crashed run (default false): skip pre-processing; vertex and
+  // edge sets must already be present in storage, imported from the
+  // committed checkpoint side via Cluster::ImportSets (same machine count)
+  // or Cluster::ImportRepartitioned (rescaled). Consumed by Cluster::Resume
+  // and ComputeEngine::Main; RunWithRecovery sets both fields up.
   bool resume = false;
+  // First superstep of the resumed run (units: absolute superstep index;
+  // meaningful only with `resume`): RunResult::checkpoint_superstep of the
+  // crashed run, i.e. the superstep after the last committed checkpoint.
   uint64_t resume_superstep = 0;
 
   // Safety bound on supersteps.
@@ -101,7 +114,8 @@ struct ClusterConfig {
   std::vector<MachineProfile> profiles;
 
   // Declarative fault/straggler schedule replayed during the run (see
-  // sim/fault_injector.h). Empty = perfectly healthy cluster.
+  // sim/fault_injector.h): rate degradations and fail-stop MachineCrash
+  // events. Empty = perfectly healthy cluster.
   FaultSchedule faults;
 
   uint64_t seed = 1;

@@ -126,10 +126,21 @@ std::string RunMetrics::Summary() const {
                   100.0 * BucketFraction(static_cast<Bucket>(b)));
     out += line;
   }
+  if (recovered) {
+    std::snprintf(line, sizeof(line),
+                  "  recovered: lost_supersteps=%llu time_to_recover=%s crashed_run=%s\n",
+                  static_cast<unsigned long long>(lost_work_supersteps),
+                  FormatSeconds(ToSeconds(time_to_recover)).c_str(),
+                  FormatSeconds(ToSeconds(crashed_run_time)).c_str());
+    out += line;
+  }
   for (const FaultRecord& r : faults) {
     if (r.applied_at < 0) {
       std::snprintf(line, sizeof(line), "  fault m%d %s x%.2f: not reached\n",
                     r.event.machine, FaultTargetName(r.event.target), r.event.factor);
+    } else if (r.event.kind == FaultKind::kMachineCrash) {
+      std::snprintf(line, sizeof(line), "  fault m%d crashed: at=%s (fail-stop)\n",
+                    r.event.machine, FormatSeconds(ToSeconds(r.applied_at)).c_str());
     } else {
       std::snprintf(line, sizeof(line),
                     "  fault m%d %s x%.2f: at=%s %s victim_steals=%llu\n", r.event.machine,

@@ -17,9 +17,14 @@
 //                          coordinator (machine 0) folds every machine's
 //                          aggregator delta into the global state, runs the
 //                          program's Advance, and releases everyone with the
-//                          canonical global for the next phase. A release
-//                          can also signal a simulated whole-cluster crash
-//                          (checkpoint-recovery experiments, §6.6/Fig. 13).
+//                          canonical global for the next phase. Arrivals
+//                          double as the failure detector (§6.6): an engine
+//                          on a fault-killed machine flags its arrival
+//                          (`failed`), and the coordinator aborts the
+//                          superstep cluster-wide by releasing with `crash`.
+//                          A release can also signal the scripted
+//                          whole-cluster crash of the checkpoint-recovery
+//                          experiments (§6.6/Fig. 13).
 //   kControlShutdown       simulation teardown, no paper counterpart.
 #ifndef CHAOS_CORE_PROTOCOL_H_
 #define CHAOS_CORE_PROTOCOL_H_
@@ -95,18 +100,26 @@ struct BarrierArrive {
   G local{};              // per-machine aggregator delta
   uint64_t vertices_changed = 0;
   bool advance = false;   // gather barrier: reduce aggregators and Advance()
+  bool failed = false;    // this machine was fault-killed mid-run: the
+                          // coordinator must abort the superstep (§6.6).
+                          // Models failure detection at the barrier — the
+                          // point where a real cluster's heartbeat timeout
+                          // would fire — without un-draining the sim.
   uint64_t superstep = 0;
 };
 
 // Coordinator release: the canonical global state every machine computes
 // the next phase under. `done` ends the run (Advance returned true);
-// `crash` simulates the whole-cluster failure of the recovery experiments
-// (§6.6): engines stop without finishing, storage contents survive.
+// `crash` aborts it — either a machine failure was detected this barrier
+// (an arrival carried `failed`) or the scripted whole-cluster failure of
+// the recovery experiments fired (§6.6). In both cases engines stop without
+// finishing and durable storage contents survive, so a recovery driver can
+// re-import the last committed checkpoint (core/recovery.h).
 template <typename G>
 struct BarrierRelease {
   G global{};  // canonical global state for the next phase
   bool done = false;
-  bool crash = false;  // simulated failure: stop without finishing
+  bool crash = false;  // failure: stop without finishing, storage survives
 };
 
 }  // namespace chaos

@@ -1,0 +1,155 @@
+// Machine-failure recovery driver (paper §6.6): runs a workload, and if a
+// fault-injected MachineCrash aborts it, re-provisions a replacement
+// cluster — same size, or rescaled (e.g. the N-1 survivors) with
+// repartitioned vertex ranges — imports the last committed checkpoint from
+// the durable storage of the crashed cluster, and resumes. This is the
+// closed loop behind the paper's "checkpointing is cheap because recovery
+// is a restart from the last committed checkpoint" claim (Fig. 13): the
+// recovered run must produce the same results as a fault-free one.
+//
+// Failure model: fail-stop machine failures (sim/fault_injector.h
+// FaultKind::kMachineCrash), detected cluster-wide at the next barrier.
+// Storage is durable and survives the compute engine's death (the same
+// assumption the scripted ClusterConfig::crash_after_superstep experiments
+// make), so checkpoint and edge sets can be re-imported host-side. One
+// failure per run; the replacement cluster is healthy.
+#ifndef CHAOS_CORE_RECOVERY_H_
+#define CHAOS_CORE_RECOVERY_H_
+
+#include <algorithm>
+#include <utility>
+
+#include "core/cluster.h"
+
+namespace chaos {
+
+struct RecoveryOptions {
+  // Replacement cluster size after a crash: 0 = same as the original
+  // (the failed machine is swapped for a spare); otherwise the new machine
+  // count, e.g. machines - 1 when the survivors absorb the work. Rescaled
+  // recovery repartitions vertex ranges and re-bins edge sets.
+  int replacement_machines = 0;
+};
+
+// How a recovered run unfolded, for reporting and benches. Times are
+// simulated cluster times.
+struct RecoveryReport {
+  bool crash_detected = false;
+  bool recovered_from_checkpoint = false;  // false: restarted from the input
+  uint64_t crash_superstep = 0;            // superstep the failure aborted
+  uint64_t resume_superstep = 0;           // checkpoint the restart used
+  uint64_t lost_work_supersteps = 0;       // supersteps that had to be re-run
+  TimeNs crashed_run_time = 0;   // sim time spent in the aborted run
+  TimeNs time_to_recover = 0;    // takeover until the crash point re-reached
+  TimeNs end_to_end_time = 0;    // aborted run + full replacement run
+  int machines_after = 0;        // replacement cluster size
+};
+
+// Runs `prog` over `input` on a cluster configured by `config`; on a
+// machine-failure abort, re-provisions and resumes from the last committed
+// checkpoint (or restarts from the input if no checkpoint had committed).
+// Returns the completed run's result, with recovery accounting filled into
+// its Metrics (recovered / lost_work_supersteps / time_to_recover /
+// crashed_run_time). `report`, when non-null, receives the full timeline.
+template <GasProgram P>
+RunResult<P> RunWithRecovery(const ClusterConfig& config, P prog, const InputGraph& input,
+                             const RecoveryOptions& opts = {},
+                             RecoveryReport* report = nullptr) {
+  RecoveryReport rep;
+  rep.machines_after = config.machines;
+
+  Cluster<P> cluster(config, prog);
+  RunResult<P> first = cluster.Run(input);
+  rep.end_to_end_time = first.metrics.total_time;
+  if (!first.crashed) {
+    if (report != nullptr) {
+      *report = rep;
+    }
+    return first;
+  }
+
+  rep.crash_detected = true;
+  rep.crashed_run_time = first.metrics.total_time;
+  rep.crash_superstep = first.supersteps > 0 ? first.supersteps - 1 : 0;
+
+  // Re-provision: the replacement rack is healthy (the failure already
+  // happened; scripted whole-cluster crashes do not recur either).
+  ClusterConfig rcfg = config;
+  rcfg.faults = FaultSchedule{};
+  rcfg.crash_after_superstep = -1;
+  if (opts.replacement_machines > 0 && opts.replacement_machines != config.machines) {
+    rcfg.machines = opts.replacement_machines;
+    rcfg.profiles.clear();  // per-machine overrides do not carry over a rescale
+  }
+  rep.machines_after = rcfg.machines;
+
+  GraphMeta meta;
+  meta.num_vertices = input.num_vertices;
+  meta.weighted = input.weighted;
+  meta.edge_wire_bytes = input.edge_wire_bytes();
+  meta.vertex_id_wire_bytes = input.vertex_id_wire_bytes();
+
+  RunResult<P> second;
+  if (first.has_checkpoint) {
+    rcfg.resume = true;
+    rcfg.resume_superstep = first.checkpoint_superstep;
+    rep.resume_superstep = first.checkpoint_superstep;
+    rep.recovered_from_checkpoint = true;
+    Cluster<P> replacement(rcfg, prog);
+    replacement.PreparePartitioning(input.num_vertices);
+    if (rcfg.machines == config.machines) {
+      // Same-size replacement: chunk homes are machine-count-stable, so the
+      // durable sets copy across position-for-position.
+      replacement.ImportSets(cluster, SetKind::kEdges, SetKind::kEdges);
+      replacement.ImportSets(cluster, first.checkpoint_side, SetKind::kVertices);
+    } else {
+      replacement.ImportRepartitioned(cluster, first.checkpoint_side, meta);
+    }
+    second = replacement.Resume(meta, first.checkpoint_global);
+  } else {
+    // The failure hit before any checkpoint committed (e.g. during
+    // pre-processing): nothing to resume from, restart the whole run.
+    rcfg.resume = false;
+    Cluster<P> replacement(rcfg, std::move(prog));
+    second = replacement.Run(input);
+  }
+
+  // A zero preprocess time marks a run that died before pre-processing
+  // finished: no superstep was ever entered (the engine only records the
+  // preprocess end on the healthy path).
+  const bool died_in_preprocess = first.metrics.preprocess_time == 0;
+  rep.lost_work_supersteps =
+      !died_in_preprocess && rep.crash_superstep >= rep.resume_superstep
+          ? rep.crash_superstep - rep.resume_superstep + 1
+          : 0;
+  // Time to recover: replacement-cluster time until the work the failure
+  // destroyed has been re-done — the aborted superstep's gather barrier,
+  // or the re-run pre-processing when the crash predated any superstep.
+  // A crash between a checkpoint's commit and its phase-2 barrier can leave
+  // resume_superstep past crash_superstep: nothing to re-execute.
+  const auto& times = second.metrics.superstep_end_times;
+  if (died_in_preprocess) {
+    rep.time_to_recover = second.metrics.preprocess_time;
+  } else if (rep.crash_superstep < rep.resume_superstep) {
+    rep.time_to_recover = 0;
+  } else if (times.empty()) {
+    rep.time_to_recover = second.metrics.total_time;
+  } else {
+    const uint64_t idx = rep.crash_superstep - rep.resume_superstep;
+    rep.time_to_recover = times[std::min<uint64_t>(idx, times.size() - 1)];
+  }
+  rep.end_to_end_time = rep.crashed_run_time + second.metrics.total_time;
+
+  second.metrics.recovered = true;
+  second.metrics.lost_work_supersteps = rep.lost_work_supersteps;
+  second.metrics.time_to_recover = rep.time_to_recover;
+  second.metrics.crashed_run_time = rep.crashed_run_time;
+  if (report != nullptr) {
+    *report = rep;
+  }
+  return second;
+}
+
+}  // namespace chaos
+
+#endif  // CHAOS_CORE_RECOVERY_H_

@@ -67,6 +67,18 @@ FaultSchedule FaultSchedule::StorageBrownout(MachineId machine, double factor, T
   return TransientSlowdown(machine, FaultTarget::kStorage, factor, at, duration);
 }
 
+FaultSchedule FaultSchedule::MachineCrash(MachineId machine, TimeNs at) {
+  FaultSchedule s;
+  FaultEvent e;
+  e.at = at;
+  e.duration = 0;  // fail-stop: permanent
+  e.machine = machine;
+  e.target = FaultTarget::kMachine;
+  e.factor = 1.0;  // unused for crashes
+  e.kind = FaultKind::kMachineCrash;
+  return s.Add(e);
+}
+
 FaultSchedule FaultSchedule::Random(uint64_t seed, int machines, int count, TimeNs horizon,
                                     double min_factor, double max_factor) {
   CHAOS_CHECK_GT(machines, 0);
@@ -93,6 +105,8 @@ FaultInjector::FaultInjector(Simulator* sim, FaultSchedule schedule, int machine
   CHAOS_CHECK_GT(machines, 0);
   hooks_.resize(static_cast<size_t>(machines));
   cpu_rate_.assign(static_cast<size_t>(machines), 1.0);
+  dead_.assign(static_cast<size_t>(machines), 0);
+  dead_since_.assign(static_cast<size_t>(machines), -1);
   active_.resize(static_cast<size_t>(machines));
   records_.resize(schedule_.events.size());
   for (size_t i = 0; i < schedule_.events.size(); ++i) {
@@ -149,6 +163,21 @@ void FaultInjector::Apply(const Change& change) {
   const FaultEvent& event = schedule_.events[change.event_index];
   FaultRecord& record = records_[change.event_index];
   auto& active = active_[static_cast<size_t>(event.machine)];
+  if (event.kind == FaultKind::kMachineCrash) {
+    // Fail-stop: no rate effect, no recovery change. Idempotent against a
+    // schedule that crashes the same machine twice.
+    record.applied_at = sim_->now();
+    if (probe_) {
+      record.at_apply = probe_(event.machine);
+    }
+    ++events_applied_;
+    if (dead_[static_cast<size_t>(event.machine)] == 0) {
+      dead_[static_cast<size_t>(event.machine)] = 1;
+      dead_since_[static_cast<size_t>(event.machine)] = sim_->now();
+      ++dead_count_;
+    }
+    return;
+  }
   if (change.begin) {
     active.push_back(change.event_index);
     record.applied_at = sim_->now();

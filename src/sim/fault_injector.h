@@ -36,6 +36,16 @@ enum class FaultTarget : uint8_t {
   kMachine = 3,  // all of the above — a whole-machine straggler
 };
 
+// What an event does to its victim.
+enum class FaultKind : uint8_t {
+  kDegrade = 0,       // rate degradation of `target` by `factor`
+  kMachineCrash = 1,  // fail-stop machine failure: the victim's compute
+                      // engine is dead from `at` on (target/factor/duration
+                      // ignored). Durable storage survives — the recovery
+                      // model is the paper's §6.6: restart from the last
+                      // committed checkpoint on a repaired/rescaled cluster.
+};
+
 const char* FaultTargetName(FaultTarget target);
 
 // Parses "cpu" | "storage" | "nic" | "machine" (CLI flag form). Returns
@@ -48,8 +58,9 @@ struct FaultEvent {
   MachineId machine = 0;
   FaultTarget target = FaultTarget::kMachine;
   double factor = 1.0;  // rate multiplier while active (0.25 = 4x slower)
+  FaultKind kind = FaultKind::kDegrade;
 
-  bool permanent() const { return duration == 0; }
+  bool permanent() const { return duration == 0 || kind == FaultKind::kMachineCrash; }
   TimeNs end() const { return at + duration; }
 };
 
@@ -79,6 +90,11 @@ struct FaultSchedule {
   // A storage-device brownout (e.g. SSD garbage-collection stall).
   static FaultSchedule StorageBrownout(MachineId machine, double factor, TimeNs at,
                                        TimeNs duration);
+
+  // A fail-stop machine failure at `at`: the victim's compute engine dies
+  // mid-run (detected cluster-wide at the next barrier); its durable storage
+  // survives. One crash per run is the supported model (§6.6).
+  static FaultSchedule MachineCrash(MachineId machine, TimeNs at);
 
   // `count` seeded random transient events over [0, horizon): uniformly
   // chosen machine, target, factor in [min_factor, max_factor], duration in
@@ -135,6 +151,17 @@ class FaultInjector {
     return cpu_rate_[static_cast<size_t>(machine)];
   }
 
+  // True once a kMachineCrash event for `machine` has been applied. The
+  // compute engine polls this at its streaming/steal loop boundaries and
+  // flags its next barrier arrival, which aborts the superstep cluster-wide
+  // (see BarrierArrive::failed in core/protocol.h).
+  bool dead(MachineId machine) const { return dead_[static_cast<size_t>(machine)] != 0; }
+  // Simulated time the machine died, or -1 while alive.
+  TimeNs dead_since(MachineId machine) const {
+    return dead_since_[static_cast<size_t>(machine)];
+  }
+  int dead_count() const { return dead_count_; }
+
   // Stretches a nominal CPU delay by the machine's current degradation.
   // Granularity caveat: CPU scaling applies when a compute delay is issued
   // (per chunk scanned), so a transient CPU fault shorter than one
@@ -169,6 +196,9 @@ class FaultInjector {
   int machines_;
   std::vector<MachineHooks> hooks_;
   std::vector<double> cpu_rate_;
+  std::vector<uint8_t> dead_;
+  std::vector<TimeNs> dead_since_;
+  int dead_count_ = 0;
   std::vector<std::vector<size_t>> active_;  // per machine: active event idxs
   std::vector<Change> timeline_;             // sorted by (at, begin-last, index)
   std::vector<FaultRecord> records_;

@@ -1,0 +1,292 @@
+// Machine-failure recovery (paper §6.6): a fault-injected MachineCrash
+// kills one machine's engine mid-run, the failure is detected at the next
+// barrier and aborts the superstep cluster-wide, and the recovery driver
+// re-provisions a cluster (same size or the N-1 survivors) that resumes
+// from the last committed checkpoint. Recovered results must match the
+// fault-free run: bitwise for BFS (order-independent min-folds), and to
+// float rounding for PageRank (re-executed gathers fold updates in a
+// different arrival order).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "algorithms/basic.h"
+#include "algorithms/runner.h"
+#include "core/cluster.h"
+#include "core/recovery.h"
+#include "graph/generators.h"
+
+namespace chaos {
+namespace {
+
+ClusterConfig BaseConfig(int machines) {
+  ClusterConfig cfg;
+  cfg.machines = machines;
+  cfg.memory_budget_bytes = 8 << 10;
+  cfg.chunk_bytes = 2 << 10;
+  cfg.seed = 99;
+  return cfg;
+}
+
+InputGraph TestGraph(uint64_t seed = 7) {
+  RmatOptions opt;
+  opt.scale = 9;
+  opt.seed = seed;
+  return GenerateRmat(opt);
+}
+
+// A kill time ~60% into the post-preprocessing computation of the
+// fault-free run: late enough that checkpoints have committed, early
+// enough that supersteps remain.
+TimeNs MidRunKillTime(const RunMetrics& fault_free) {
+  return fault_free.preprocess_time +
+         static_cast<TimeNs>(0.6 * static_cast<double>(fault_free.total_time -
+                                                       fault_free.preprocess_time));
+}
+
+TEST(MachineCrashTest, KillAbortsRunAndLeavesCommittedCheckpoint) {
+  InputGraph g = TestGraph();
+  ClusterConfig cfg = BaseConfig(4);
+  cfg.checkpoint_interval = 1;
+  Cluster<PageRankProgram> healthy(cfg, PageRankProgram(6));
+  auto fault_free = healthy.Run(g);
+  ASSERT_FALSE(fault_free.crashed);
+
+  cfg.faults = FaultSchedule::MachineCrash(2, MidRunKillTime(fault_free.metrics));
+  Cluster<PageRankProgram> cluster(cfg, PageRankProgram(6));
+  auto result = cluster.Run(g);
+  EXPECT_TRUE(result.crashed);
+  EXPECT_TRUE(result.metrics.crashed);
+  EXPECT_LE(result.supersteps, fault_free.supersteps);  // aborted early
+  ASSERT_TRUE(result.has_checkpoint);
+  EXPECT_GT(result.checkpoint_superstep, 0u);
+  // The crash is recorded as an applied fault.
+  ASSERT_EQ(result.metrics.faults.size(), 1u);
+  EXPECT_EQ(result.metrics.faults[0].event.kind, FaultKind::kMachineCrash);
+  EXPECT_GE(result.metrics.faults[0].applied_at, 0);
+}
+
+TEST(MachineCrashTest, KillAfterCompletionIsNeverReached) {
+  InputGraph g = TestGraph();
+  ClusterConfig cfg = BaseConfig(4);
+  Cluster<PageRankProgram> healthy(cfg, PageRankProgram(4));
+  auto fault_free = healthy.Run(g);
+
+  cfg.faults = FaultSchedule::MachineCrash(1, fault_free.metrics.total_time * 2);
+  Cluster<PageRankProgram> cluster(cfg, PageRankProgram(4));
+  auto result = cluster.Run(g);
+  EXPECT_FALSE(result.crashed);
+  ASSERT_EQ(result.metrics.faults.size(), 1u);
+  EXPECT_LT(result.metrics.faults[0].applied_at, 0);  // not reached
+}
+
+TEST(RecoveryTest, SameSizeRecoveryMatchesFaultFreeBfsBitwise) {
+  InputGraph g = PrepareInput("bfs", TestGraph(13));
+  ClusterConfig cfg = BaseConfig(4);
+  Cluster<BfsProgram> healthy(cfg, BfsProgram(0));
+  auto truth = healthy.Run(g);
+
+  cfg.checkpoint_interval = 1;
+  cfg.faults = FaultSchedule::MachineCrash(3, MidRunKillTime(truth.metrics));
+  RecoveryReport report;
+  auto recovered = RunWithRecovery(cfg, BfsProgram(0), g, RecoveryOptions{}, &report);
+
+  EXPECT_TRUE(report.crash_detected);
+  EXPECT_TRUE(report.recovered_from_checkpoint);
+  EXPECT_FALSE(recovered.crashed);
+  ASSERT_EQ(recovered.values.size(), truth.values.size());
+  for (size_t v = 0; v < truth.values.size(); ++v) {
+    ASSERT_EQ(recovered.values[v], truth.values[v]) << "vertex " << v;
+  }
+}
+
+TEST(RecoveryTest, SameSizeRecoveryMatchesFaultFreePagerank) {
+  InputGraph g = TestGraph(13);
+  const uint32_t kIters = 6;
+  ClusterConfig cfg = BaseConfig(4);
+  Cluster<PageRankProgram> healthy(cfg, PageRankProgram(kIters));
+  auto truth = healthy.Run(g);
+
+  cfg.checkpoint_interval = 1;
+  cfg.faults = FaultSchedule::MachineCrash(1, MidRunKillTime(truth.metrics));
+  RecoveryReport report;
+  auto recovered =
+      RunWithRecovery(cfg, PageRankProgram(kIters), g, RecoveryOptions{}, &report);
+
+  EXPECT_TRUE(report.crash_detected);
+  EXPECT_TRUE(report.recovered_from_checkpoint);
+  ASSERT_EQ(recovered.values.size(), truth.values.size());
+  for (size_t v = 0; v < truth.values.size(); ++v) {
+    ASSERT_NEAR(recovered.values[v], truth.values[v],
+                1e-4 * (1.0 + std::abs(truth.values[v])))
+        << "vertex " << v;
+  }
+}
+
+TEST(RecoveryTest, RescaledRecoveryRunsOnSurvivorsAndMatches) {
+  InputGraph g = PrepareInput("bfs", TestGraph(21));
+  const int kMachines = 4;
+  ClusterConfig cfg = BaseConfig(kMachines);
+  Cluster<BfsProgram> healthy(cfg, BfsProgram(0));
+  auto truth = healthy.Run(g);
+
+  cfg.checkpoint_interval = 1;
+  cfg.faults = FaultSchedule::MachineCrash(2, MidRunKillTime(truth.metrics));
+  RecoveryOptions rescale;
+  rescale.replacement_machines = kMachines - 1;
+  RecoveryReport report;
+  auto recovered = RunWithRecovery(cfg, BfsProgram(0), g, rescale, &report);
+
+  EXPECT_TRUE(report.crash_detected);
+  EXPECT_TRUE(report.recovered_from_checkpoint);
+  EXPECT_EQ(report.machines_after, kMachines - 1);
+  EXPECT_EQ(recovered.metrics.machines.size(), static_cast<size_t>(kMachines - 1));
+  ASSERT_EQ(recovered.values.size(), truth.values.size());
+  for (size_t v = 0; v < truth.values.size(); ++v) {
+    ASSERT_EQ(recovered.values[v], truth.values[v]) << "vertex " << v;
+  }
+}
+
+TEST(RecoveryTest, MetricsRecordTimeToRecoverAndLostWork) {
+  InputGraph g = TestGraph(29);
+  ClusterConfig cfg = BaseConfig(4);
+  Cluster<PageRankProgram> healthy(cfg, PageRankProgram(6));
+  auto truth = healthy.Run(g);
+
+  cfg.checkpoint_interval = 2;
+  cfg.faults = FaultSchedule::MachineCrash(0, MidRunKillTime(truth.metrics));
+  RecoveryReport report;
+  auto recovered =
+      RunWithRecovery(cfg, PageRankProgram(6), g, RecoveryOptions{}, &report);
+
+  EXPECT_TRUE(recovered.metrics.recovered);
+  EXPECT_GT(recovered.metrics.crashed_run_time, 0);
+  EXPECT_GT(recovered.metrics.time_to_recover, 0);
+  EXPECT_LE(recovered.metrics.time_to_recover, recovered.metrics.total_time);
+  EXPECT_EQ(recovered.metrics.lost_work_supersteps, report.lost_work_supersteps);
+  // Interval-2 checkpoints: at most 2 supersteps of work can be lost.
+  EXPECT_GE(report.lost_work_supersteps, 1u);
+  EXPECT_LE(report.lost_work_supersteps, 2u);
+  EXPECT_EQ(report.end_to_end_time,
+            report.crashed_run_time + recovered.metrics.total_time);
+  // The fault-free metrics of a healthy run carry no recovery accounting.
+  EXPECT_FALSE(truth.metrics.recovered);
+  EXPECT_EQ(truth.metrics.time_to_recover, 0);
+  // Superstep end times back the time-to-recover measurement.
+  EXPECT_FALSE(recovered.metrics.superstep_end_times.empty());
+}
+
+TEST(RecoveryTest, CrashBeforeFirstCheckpointRestartsFromScratch) {
+  InputGraph g = TestGraph(31);
+  ClusterConfig cfg = BaseConfig(4);
+  Cluster<PageRankProgram> healthy(cfg, PageRankProgram(5));
+  auto truth = healthy.Run(g);
+
+  // No checkpointing at all: the only recovery is a full restart.
+  cfg.faults = FaultSchedule::MachineCrash(1, MidRunKillTime(truth.metrics));
+  RecoveryReport report;
+  auto recovered =
+      RunWithRecovery(cfg, PageRankProgram(5), g, RecoveryOptions{}, &report);
+
+  EXPECT_TRUE(report.crash_detected);
+  EXPECT_FALSE(report.recovered_from_checkpoint);
+  EXPECT_FALSE(recovered.crashed);
+  ASSERT_EQ(recovered.values.size(), truth.values.size());
+  for (size_t v = 0; v < truth.values.size(); ++v) {
+    // The replacement run re-executes everything from the input on a fresh
+    // cluster with the same seed: identical traces, identical floats.
+    ASSERT_EQ(recovered.values[v], truth.values[v]) << "vertex " << v;
+  }
+}
+
+TEST(RecoveryTest, CrashDuringPreprocessingRestartsFromScratch) {
+  InputGraph g = PrepareInput("bfs", TestGraph(37));
+  ClusterConfig cfg = BaseConfig(4);
+  cfg.checkpoint_interval = 1;
+  Cluster<BfsProgram> healthy(cfg, BfsProgram(0));
+  auto truth = healthy.Run(g);
+
+  cfg.faults = FaultSchedule::MachineCrash(2, truth.metrics.preprocess_time / 2);
+  RecoveryReport report;
+  auto recovered = RunWithRecovery(cfg, BfsProgram(0), g, RecoveryOptions{}, &report);
+
+  EXPECT_TRUE(report.crash_detected);
+  EXPECT_FALSE(report.recovered_from_checkpoint);  // nothing had committed
+  // No superstep ever ran: the lost work is the partial pre-processing,
+  // not a superstep; time-to-recover is the re-run pre-processing.
+  EXPECT_EQ(report.lost_work_supersteps, 0u);
+  EXPECT_EQ(report.time_to_recover, recovered.metrics.preprocess_time);
+  ASSERT_EQ(recovered.values.size(), truth.values.size());
+  for (size_t v = 0; v < truth.values.size(); ++v) {
+    ASSERT_EQ(recovered.values[v], truth.values[v]) << "vertex " << v;
+  }
+}
+
+TEST(RecoveryTest, RecoveryIsDeterministic) {
+  InputGraph g = PrepareInput("bfs", TestGraph(41));
+  ClusterConfig cfg = BaseConfig(4);
+  Cluster<BfsProgram> healthy(cfg, BfsProgram(0));
+  auto truth = healthy.Run(g);
+
+  cfg.checkpoint_interval = 1;
+  cfg.faults = FaultSchedule::MachineCrash(1, MidRunKillTime(truth.metrics));
+  RecoveryReport a_report;
+  RecoveryReport b_report;
+  auto a = RunWithRecovery(cfg, BfsProgram(0), g, RecoveryOptions{}, &a_report);
+  auto b = RunWithRecovery(cfg, BfsProgram(0), g, RecoveryOptions{}, &b_report);
+
+  EXPECT_EQ(a_report.end_to_end_time, b_report.end_to_end_time);
+  EXPECT_EQ(a_report.time_to_recover, b_report.time_to_recover);
+  EXPECT_EQ(a_report.crash_superstep, b_report.crash_superstep);
+  ASSERT_EQ(a.values.size(), b.values.size());
+  for (size_t v = 0; v < a.values.size(); ++v) {
+    ASSERT_EQ(a.values[v], b.values[v]);
+  }
+}
+
+// Same-size recovery must also work under central-directory placement:
+// imported edge chunks have to be re-registered with the replacement
+// cluster's directory, or every scan would silently see an empty set
+// (regression: recovered values diverged with no error raised).
+TEST(RecoveryTest, SameSizeRecoveryWorksUnderCentralDirectory) {
+  InputGraph g = PrepareInput("bfs", TestGraph(47));
+  ClusterConfig cfg = BaseConfig(4);
+  cfg.placement = Placement::kCentralDirectory;
+  Cluster<BfsProgram> healthy(cfg, BfsProgram(0));
+  auto truth = healthy.Run(g);
+
+  cfg.checkpoint_interval = 1;
+  cfg.faults = FaultSchedule::MachineCrash(2, MidRunKillTime(truth.metrics));
+  RecoveryReport report;
+  auto recovered = RunWithRecovery(cfg, BfsProgram(0), g, RecoveryOptions{}, &report);
+
+  EXPECT_TRUE(report.crash_detected);
+  EXPECT_TRUE(report.recovered_from_checkpoint);
+  ASSERT_EQ(recovered.values.size(), truth.values.size());
+  for (size_t v = 0; v < truth.values.size(); ++v) {
+    ASSERT_EQ(recovered.values[v], truth.values[v]) << "vertex " << v;
+  }
+}
+
+// The type-erased runner surface used by chaos_run and the benches.
+TEST(RecoveryTest, TypeErasedRunnerRecovers) {
+  InputGraph g = PrepareInput("sssp", TestGraph(43));
+  ClusterConfig cfg = BaseConfig(4);
+  auto truth = RunChaosAlgorithm("sssp", g, cfg);
+
+  cfg.checkpoint_interval = 1;
+  cfg.faults = FaultSchedule::MachineCrash(3, MidRunKillTime(truth.metrics));
+  RecoveryReport report;
+  auto recovered =
+      RunChaosAlgorithmWithRecovery("sssp", g, cfg, {}, RecoveryOptions{}, &report);
+
+  EXPECT_TRUE(report.crash_detected);
+  EXPECT_FALSE(recovered.crashed);
+  ASSERT_EQ(recovered.values.size(), truth.values.size());
+  for (size_t v = 0; v < truth.values.size(); ++v) {
+    ASSERT_EQ(recovered.values[v], truth.values[v]) << "vertex " << v;
+  }
+}
+
+}  // namespace
+}  // namespace chaos
