@@ -23,20 +23,37 @@ CHAOS_BENCH_MAIN(capacity, "Sec 9.3 capacity scaling toward the trillion-edge mi
   const auto scale = static_cast<uint32_t>(opt.GetInt("scale"));
   const int machines = static_cast<int>(opt.GetInt("machines"));
   const auto seed = static_cast<uint64_t>(opt.GetInt("seed"));
+  const std::vector<std::string> algos = {"bfs", "pagerank"};
+
+  struct CapacityPoint {
+    AlgoResult result;
+    uint64_t num_edges = 0;
+  };
+  Sweep<CapacityPoint> sweep;
+  for (const std::string& name : algos) {
+    sweep.Add([name, scale, machines, seed] {
+      InputGraph prepared = PrepareInput(name, BenchRmat(scale, false, seed));
+      ClusterConfig cfg =
+          BenchClusterConfig(prepared, machines, seed, StorageConfig::Hdd());
+      // Deep out-of-core: ~8 partitions per machine.
+      cfg.memory_budget_bytes =
+          std::max<uint64_t>(prepared.num_vertices * 48 / (8ull * machines) + 1, 4 << 10);
+      CapacityPoint point;
+      point.result = RunChaosAlgorithm(name, prepared, cfg);
+      point.num_edges = prepared.num_edges();
+      return point;
+    });
+  }
+  const std::vector<CapacityPoint> points = sweep.Run();
 
   std::printf("== Capacity scaling (paper 9.3): RMAT-%u on %d machines, HDD ==\n", scale,
               machines);
   PrintHeader({"algorithm", "time", "io-moved", "agg-bw", "supersteps"});
   const double kPaperEdges = 1.1e12;  // RMAT-36
-  for (const std::string name : {"bfs", "pagerank"}) {
-    InputGraph raw = BenchRmat(scale, false, seed);
-    InputGraph prepared = PrepareInput(name, raw);
-    ClusterConfig cfg =
-        BenchClusterConfig(prepared, machines, seed, StorageConfig::Hdd());
-    // Deep out-of-core: ~8 partitions per machine.
-    cfg.memory_budget_bytes =
-        std::max<uint64_t>(prepared.num_vertices * 48 / (8ull * machines) + 1, 4 << 10);
-    auto result = RunChaosAlgorithm(name, prepared, cfg);
+  size_t idx = 0;
+  for (const std::string& name : algos) {
+    const CapacityPoint& point = points[idx++];
+    const AlgoResult& result = point.result;
     PrintCell(name);
     PrintCell(FormatSeconds(result.metrics.total_seconds()));
     PrintCell(FormatBytes(result.metrics.StorageBytesMoved()));
@@ -44,7 +61,9 @@ CHAOS_BENCH_MAIN(capacity, "Sec 9.3 capacity scaling toward the trillion-edge mi
     PrintCell(static_cast<double>(result.supersteps), "%.0f");
     EndRow();
     const double io_per_edge = static_cast<double>(result.metrics.StorageBytesMoved()) /
-                               static_cast<double>(prepared.num_edges());
+                               static_cast<double>(point.num_edges);
+    RecordMetric("capacity." + name + ".sim_s", result.metrics.total_seconds());
+    RecordMetric("capacity." + name + ".io_bytes_per_edge", io_per_edge);
     std::printf("  -> %.1f B of I/O per input edge; linear projection to RMAT-36: %s\n",
                 io_per_edge, FormatBytes(static_cast<uint64_t>(io_per_edge * kPaperEdges))
                                  .c_str());

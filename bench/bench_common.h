@@ -7,12 +7,18 @@
 #define CHAOS_BENCH_BENCH_COMMON_H_
 
 #include <cstdio>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "algorithms/runner.h"
 #include "graph/generators.h"
 #include "util/options.h"
+#include "util/parallel.h"
 #include "util/stats.h"
 
 namespace chaos::bench {
@@ -121,6 +127,84 @@ inline std::vector<std::string> AllAlgorithmNames() {
     names.push_back(info.name);
   }
   return names;
+}
+
+// ----------------------------------------------------------------------
+// Parallel sweep plumbing (--jobs).
+//
+// The driver parses --jobs and calls SetSweepJobs() before dispatching any
+// bench; the shared SweepExecutor is created lazily with that setting on
+// the first sweep. 0 = hardware concurrency, 1 = fully sequential (no
+// threads spawned — today's behavior, bit-for-bit).
+inline int& SweepJobsSetting() {
+  static int jobs = 0;
+  return jobs;
+}
+
+inline void SetSweepJobs(int jobs) { SweepJobsSetting() = jobs; }
+
+inline SweepExecutor& SharedSweepExecutor() {
+  static SweepExecutor executor(SweepJobsSetting());
+  return executor;
+}
+
+// ----------------------------------------------------------------------
+// Point-list sweep API: benches declare their trial grid as a list of
+// self-contained closures, run them all (in parallel under --jobs), then
+// print tables from the results — which arrive indexed in declaration
+// order regardless of the schedule, so output and statistics are bitwise
+// independent of the thread count (see util/parallel.h for the contract).
+//
+// Pattern:
+//   Sweep<double> sweep;
+//   for (...) sweep.Add([=] { return RunChaosAlgorithm(...).metrics.total_seconds(); });
+//   const auto seconds = sweep.Run();
+//   // print phase: walk the same loop nest with a running index.
+template <typename R>
+class Sweep {
+ public:
+  // Declares a point; returns its index into Run()'s result vector.
+  size_t Add(std::function<R()> point) {
+    points_.push_back(std::move(point));
+    return points_.size() - 1;
+  }
+
+  size_t size() const { return points_.size(); }
+
+  std::vector<R> Run() { return SharedSweepExecutor().RunPoints(points_); }
+
+ private:
+  std::vector<std::function<R()>> points_;
+};
+
+// ----------------------------------------------------------------------
+// Deterministic metric record. Benches record named simulation-derived
+// values (simulated seconds, speedups, counts — never host wall-clock);
+// the driver emits them per trial under "metrics", sorted by key. Sorted
+// emission + sim-only values is what makes the metric JSON byte-identical
+// between --jobs=1 and --jobs=N runs. Thread-safe so points may record
+// from executor threads, though most benches record in the print phase.
+inline std::mutex& RecordedMetricsMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+inline std::map<std::string, double>& RecordedMetricsMap() {
+  static std::map<std::string, double> metrics;
+  return metrics;
+}
+
+inline void RecordMetric(const std::string& key, double value) {
+  std::lock_guard<std::mutex> lock(RecordedMetricsMutex());
+  RecordedMetricsMap()[key] = value;
+}
+
+// Driver-side: drains everything recorded since the last call (one trial).
+inline std::map<std::string, double> TakeRecordedMetrics() {
+  std::lock_guard<std::mutex> lock(RecordedMetricsMutex());
+  std::map<std::string, double> out;
+  out.swap(RecordedMetricsMap());
+  return out;
 }
 
 // ----------------------------------------------------------------------

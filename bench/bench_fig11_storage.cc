@@ -15,26 +15,43 @@ CHAOS_BENCH_MAIN(fig11, "Figure 11: SSD vs HDD weak scaling") {
   }
   const auto base = static_cast<uint32_t>(opt.GetInt("base-scale"));
   const auto seed = static_cast<uint64_t>(opt.GetInt("seed"));
+  const std::vector<std::string> algos = {"bfs", "pagerank"};
+  const std::vector<bool> devices = {true, false};  // SSD, HDD
+
+  Sweep<double> sweep;
+  for (const std::string& name : algos) {
+    for (const bool ssd : devices) {
+      int step = 0;
+      for (const int m : MachineSweep()) {
+        const uint32_t scale = base + static_cast<uint32_t>(step);
+        sweep.Add([name, scale, ssd, m, seed] {
+          InputGraph prepared = PrepareInput(name, BenchRmat(scale, false, seed));
+          ClusterConfig cfg = BenchClusterConfig(
+              prepared, m, seed, ssd ? StorageConfig::Ssd() : StorageConfig::Hdd());
+          return RunChaosAlgorithm(name, prepared, cfg).metrics.total_seconds();
+        });
+        ++step;
+      }
+    }
+  }
+  const std::vector<double> seconds = sweep.Run();
 
   std::printf("== Figure 11: SSD vs HDD, weak scaling, normalized to m=1 SSD ==\n");
   PrintHeader({"algo/device", "m=1", "m=2", "m=4", "m=8", "m=16", "m=32"});
-  for (const std::string name : {"bfs", "pagerank"}) {
+  size_t idx = 0;
+  for (const std::string& name : algos) {
     double base_ssd = 0.0;
-    for (const bool ssd : {true, false}) {
+    for (const bool ssd : devices) {
       PrintCell(name + (ssd ? " SSD" : " HDD"));
-      int step = 0;
       for (const int m : MachineSweep()) {
-        InputGraph raw = BenchRmat(base + static_cast<uint32_t>(step), false, seed);
-        InputGraph prepared = PrepareInput(name, raw);
-        ClusterConfig cfg = BenchClusterConfig(
-            prepared, m, seed, ssd ? StorageConfig::Ssd() : StorageConfig::Hdd());
-        auto result = RunChaosAlgorithm(name, prepared, cfg);
-        const double seconds = result.metrics.total_seconds();
+        const double s = seconds[idx++];
         if (m == 1 && ssd) {
-          base_ssd = seconds;
+          base_ssd = s;
         }
-        PrintCell(base_ssd > 0 ? seconds / base_ssd : 0.0);
-        ++step;
+        PrintCell(base_ssd > 0 ? s / base_ssd : 0.0);
+        RecordMetric("fig11." + name + (ssd ? ".ssd" : ".hdd") + ".m" + std::to_string(m) +
+                         ".sim_s",
+                     s);
       }
       EndRow();
     }

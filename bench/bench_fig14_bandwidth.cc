@@ -28,28 +28,40 @@ CHAOS_BENCH_MAIN(fig14, "Figure 14: aggregate storage bandwidth during weak scal
     }
   }
 
+  Sweep<double> sweep;
+  for (const auto& name : algos) {
+    int step = 0;
+    for (const int m : MachineSweep()) {
+      const uint32_t scale = base + static_cast<uint32_t>(step);
+      sweep.Add([name, scale, m, seed] {
+        InputGraph prepared =
+            PrepareInput(name, BenchRmat(scale, AlgorithmByName(name).needs_weights, seed));
+        ClusterConfig cfg = BenchClusterConfig(prepared, m, seed);
+        return RunChaosAlgorithm(name, prepared, cfg).metrics.AggregateStorageBandwidth();
+      });
+      ++step;
+    }
+  }
+  const std::vector<double> bandwidths = sweep.Run();
+
   std::printf("== Figure 14: aggregate storage bandwidth, normalized to m=1 ==\n");
   PrintHeader({"algorithm", "m=1", "m=2", "m=4", "m=8", "m=16", "m=32", "of max@32"});
+  size_t idx = 0;
   for (const auto& name : algos) {
     PrintCell(name);
     double base_bw = 0.0;
     double frac_of_max = 0.0;
-    int step = 0;
     for (const int m : MachineSweep()) {
-      InputGraph raw = BenchRmat(base + static_cast<uint32_t>(step),
-                                 AlgorithmByName(name).needs_weights, seed);
-      InputGraph prepared = PrepareInput(name, raw);
-      ClusterConfig cfg = BenchClusterConfig(prepared, m, seed);
-      auto result = RunChaosAlgorithm(name, prepared, cfg);
-      const double bw = result.metrics.AggregateStorageBandwidth();
+      const double bw = bandwidths[idx++];
       if (m == 1) {
         base_bw = bw;
       }
       PrintCell(base_bw > 0 ? bw / base_bw : 0.0, "%.1f");
-      frac_of_max = bw / (cfg.storage.bandwidth_bps * m);
-      ++step;
+      RecordMetric("fig14." + name + ".m" + std::to_string(m) + ".agg_bw_bps", bw);
+      frac_of_max = bw / (StorageConfig::Ssd().bandwidth_bps * m);
     }
     PrintCell(100.0 * frac_of_max, "%.0f%%");
+    RecordMetric("fig14." + name + ".frac_of_max_at_32", frac_of_max);
     EndRow();
   }
   std::printf("\nmax line: m x %s per machine; paper: within 3%% of max, linear scaling\n",

@@ -21,27 +21,41 @@ CHAOS_BENCH_MAIN(fig16, "Figure 16: runtime vs batching window phi*k") {
   const auto seed = static_cast<uint64_t>(opt.GetInt("seed"));
   const std::vector<int> windows = {1, 2, 3, 5, 10, 16, 32};
 
+  Sweep<double> sweep;
+  for (const auto& info : Algorithms()) {
+    auto prepared = std::make_shared<InputGraph>(
+        PrepareInput(info.name, BenchRmat(scale, info.needs_weights, seed)));
+    for (const int window : windows) {
+      const std::string name = info.name;
+      sweep.Add([name, prepared, machines, seed, window] {
+        ClusterConfig cfg = BenchClusterConfig(*prepared, machines, seed);
+        cfg.phi = 1.0;
+        cfg.batch_k = window;  // fetch window = phi * k = window
+        return RunChaosAlgorithm(name, *prepared, cfg).metrics.total_seconds();
+      });
+    }
+  }
+  const std::vector<double> seconds = sweep.Run();
+
   std::printf("== Figure 16: runtime vs batch window phi*k (RMAT-%u, m=%d), norm to 10 ==\n",
               scale, machines);
   PrintHeader({"algorithm", "pk=1", "pk=2", "pk=3", "pk=5", "pk=10", "pk=16", "pk=32"});
+  size_t idx = 0;
   for (const auto& info : Algorithms()) {
-    InputGraph raw = BenchRmat(scale, info.needs_weights, seed);
-    InputGraph prepared = PrepareInput(info.name, raw);
-    std::vector<double> seconds;
+    const size_t row_start = idx;
     double sweet = 0.0;
     for (const int window : windows) {
-      ClusterConfig cfg = BenchClusterConfig(prepared, machines, seed);
-      cfg.phi = 1.0;
-      cfg.batch_k = window;  // fetch window = phi * k = window
-      auto result = RunChaosAlgorithm(info.name, prepared, cfg);
-      seconds.push_back(result.metrics.total_seconds());
       if (window == 10) {
-        sweet = seconds.back();
+        sweet = seconds[idx];
       }
+      ++idx;
     }
     PrintCell(info.name);
-    for (const double s : seconds) {
+    size_t col = row_start;
+    for (const int window : windows) {
+      const double s = seconds[col++];
       PrintCell(sweet > 0 ? s / sweet : 0.0);
+      RecordMetric("fig16." + info.name + ".pk" + std::to_string(window) + ".sim_s", s);
     }
     EndRow();
   }

@@ -19,19 +19,32 @@ CHAOS_BENCH_MAIN(fig17, "Figure 17: runtime breakdown at the largest machine cou
   const int machines = static_cast<int>(opt.GetInt("machines"));
   const auto seed = static_cast<uint64_t>(opt.GetInt("seed"));
 
+  // One point per algorithm; the whole AlgoResult comes back so the print
+  // phase can slice the bucket breakdown.
+  Sweep<AlgoResult> sweep;
+  for (const auto& info : Algorithms()) {
+    const std::string name = info.name;
+    const bool weighted = info.needs_weights;
+    sweep.Add([name, weighted, scale, machines, seed] {
+      InputGraph prepared = PrepareInput(name, BenchRmat(scale, weighted, seed));
+      return RunChaosAlgorithm(name, prepared, BenchClusterConfig(prepared, machines, seed));
+    });
+  }
+  const std::vector<AlgoResult> results = sweep.Run();
+
   std::printf("== Figure 17: runtime breakdown (RMAT-%u, m=%d), fraction of tracked time ==\n",
               scale, machines);
   PrintHeader({"algorithm", "gp,own", "gp,stolen", "copy", "merge", "merge-wait", "barrier",
                "preproc"});
+  size_t idx = 0;
   for (const auto& info : Algorithms()) {
-    InputGraph raw = BenchRmat(scale, info.needs_weights, seed);
-    InputGraph prepared = PrepareInput(info.name, raw);
-    auto result =
-        RunChaosAlgorithm(info.name, prepared, BenchClusterConfig(prepared, machines, seed));
+    const AlgoResult& result = results[idx++];
     PrintCell(info.name);
     for (const Bucket b : {Bucket::kGpMaster, Bucket::kGpSteal, Bucket::kCopy, Bucket::kMerge,
                            Bucket::kMergeWait, Bucket::kBarrier, Bucket::kPreprocess}) {
-      PrintCell(100.0 * result.metrics.BucketFraction(b), "%.1f%%");
+      const double frac = result.metrics.BucketFraction(b);
+      PrintCell(100.0 * frac, "%.1f%%");
+      RecordMetric("fig17." + info.name + "." + BucketName(b), frac);
     }
     EndRow();
   }

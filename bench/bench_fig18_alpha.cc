@@ -21,29 +21,47 @@ CHAOS_BENCH_MAIN(fig18, "Figure 18: work-stealing bias (alpha) sweep") {
   const int machines = static_cast<int>(opt.GetInt("machines"));
   const auto seed = static_cast<uint64_t>(opt.GetInt("seed"));
   const double kInf = std::numeric_limits<double>::infinity();
+  const std::vector<std::string> algos = {"bfs", "pagerank"};
+  const std::vector<double> alphas = {0.0, 0.8, 1.0, 1.2, kInf};
 
-  std::printf("== Figure 18: stealing bias alpha (RMAT-%u, m=%d), normalized to alpha=1 ==\n",
-              scale, machines);
-  PrintHeader({"algo/alpha", "runtime", "gp,own", "gp,stolen", "copy", "merge-wait",
-               "barrier"});
-  for (const std::string name : {"bfs", "pagerank"}) {
+  // Points: (algorithm x alpha). The alpha = 1 point doubles as each
+  // algorithm's normalization baseline (runs are deterministic, so reusing
+  // it instead of re-running is exact).
+  Sweep<AlgoResult> sweep;
+  for (const std::string& name : algos) {
     // Unpermuted RMAT concentrates load in low partitions: stealing matters.
     RmatOptions gopt;
     gopt.scale = scale;
     gopt.permute_ids = false;
     gopt.seed = seed;
-    InputGraph prepared = PrepareInput(name, GenerateRmat(gopt));
-    // Baseline first so every row normalizes to the alpha = 1 run.
-    double at_one = 0.0;
-    {
-      ClusterConfig cfg = BenchClusterConfig(prepared, machines, seed);
-      cfg.alpha = 1.0;
-      at_one = RunChaosAlgorithm(name, prepared, cfg).metrics.total_seconds();
+    auto prepared = std::make_shared<InputGraph>(PrepareInput(name, GenerateRmat(gopt)));
+    for (const double alpha : alphas) {
+      sweep.Add([name, prepared, machines, seed, alpha] {
+        ClusterConfig cfg = BenchClusterConfig(*prepared, machines, seed);
+        cfg.alpha = alpha;
+        return RunChaosAlgorithm(name, *prepared, cfg);
+      });
     }
-    for (const double alpha : {0.0, 0.8, 1.0, 1.2, kInf}) {
-      ClusterConfig cfg = BenchClusterConfig(prepared, machines, seed);
-      cfg.alpha = alpha;
-      auto result = RunChaosAlgorithm(name, prepared, cfg);
+  }
+  const std::vector<AlgoResult> results = sweep.Run();
+
+  std::printf("== Figure 18: stealing bias alpha (RMAT-%u, m=%d), normalized to alpha=1 ==\n",
+              scale, machines);
+  PrintHeader({"algo/alpha", "runtime", "gp,own", "gp,stolen", "copy", "merge-wait",
+               "barrier"});
+  size_t idx = 0;
+  for (const std::string& name : algos) {
+    const size_t row_start = idx;
+    double at_one = 0.0;
+    for (const double alpha : alphas) {
+      if (alpha == 1.0) {
+        at_one = results[idx].metrics.total_seconds();
+      }
+      ++idx;
+    }
+    size_t col = row_start;
+    for (const double alpha : alphas) {
+      const AlgoResult& result = results[col++];
       const double seconds = result.metrics.total_seconds();
       char label[64];
       std::snprintf(label, sizeof(label), "%s a=%s", name.c_str(),
@@ -55,6 +73,9 @@ CHAOS_BENCH_MAIN(fig18, "Figure 18: work-stealing bias (alpha) sweep") {
         PrintCell(100.0 * result.metrics.BucketFraction(b), "%.1f%%");
       }
       EndRow();
+      RecordMetric("fig18." + name + ".alpha_" +
+                       (alpha == kInf ? std::string("inf") : Fixed(alpha, 1)) + ".sim_s",
+                   seconds);
     }
   }
   std::printf("\nnote: runtimes are normalized to each algorithm's alpha=1 run\n");

@@ -17,36 +17,51 @@ CHAOS_BENCH_MAIN(fig19, "Figure 19: Chaos vs a Giraph-like static-placement syst
   }
   const auto scale = static_cast<uint32_t>(opt.GetInt("scale"));
   const auto seed = static_cast<uint64_t>(opt.GetInt("seed"));
+  const std::vector<bool> systems = {false, true};  // chaos, giraph-like
 
   // Unpermuted RMAT: the skew static partitioning cannot adapt to.
   RmatOptions gopt;
   gopt.scale = scale;
   gopt.permute_ids = false;
   gopt.seed = seed;
-  InputGraph prepared = PrepareInput("pagerank", GenerateRmat(gopt));
+  auto prepared =
+      std::make_shared<InputGraph>(PrepareInput("pagerank", GenerateRmat(gopt)));
+
+  Sweep<double> sweep;
+  for (const bool giraph : systems) {
+    for (const int m : MachineSweep()) {
+      sweep.Add([prepared, giraph, m, seed] {
+        ClusterConfig cfg = BenchClusterConfig(*prepared, m, seed);
+        if (giraph) {
+          cfg.alpha = 0.0;                          // no dynamic load balancing
+          cfg.placement = Placement::kLocalMaster;  // data pinned to its partition's machine
+        }
+        return RunChaosAlgorithm("pagerank", *prepared, cfg).metrics.total_seconds();
+      });
+    }
+  }
+  const std::vector<double> seconds = sweep.Run();
 
   std::printf("== Figure 19: Chaos vs Giraph-like (PR, RMAT-%u), each norm. to own m=1 ==\n",
               scale);
   PrintHeader({"system", "m=1", "m=2", "m=4", "m=8", "m=16", "m=32", "speedup@32"});
-  for (const bool giraph : {false, true}) {
-    PrintCell(giraph ? "giraph-like" : "chaos");
+  size_t idx = 0;
+  for (const bool giraph : systems) {
+    const std::string label = giraph ? "giraph-like" : "chaos";
+    PrintCell(label);
     double base_seconds = 0.0;
     double last = 1.0;
     for (const int m : MachineSweep()) {
-      ClusterConfig cfg = BenchClusterConfig(prepared, m, seed);
-      if (giraph) {
-        cfg.alpha = 0.0;                          // no dynamic load balancing
-        cfg.placement = Placement::kLocalMaster;  // data pinned to its partition's machine
-      }
-      auto result = RunChaosAlgorithm("pagerank", prepared, cfg);
-      const double seconds = result.metrics.total_seconds();
+      const double s = seconds[idx++];
       if (m == 1) {
-        base_seconds = seconds;
+        base_seconds = s;
       }
-      last = base_seconds > 0 ? seconds / base_seconds : 0.0;
+      last = base_seconds > 0 ? s / base_seconds : 0.0;
       PrintCell(last, "%.3f");
+      RecordMetric("fig19." + label + ".m" + std::to_string(m) + ".sim_s", s);
     }
     PrintCell(last > 0 ? 1.0 / last : 0.0, "%.1fx");
+    RecordMetric("fig19." + label + ".speedup_at_32", last > 0 ? 1.0 / last : 0.0);
     EndRow();
   }
   std::printf("\npaper: Giraph's static partitions severely limit scaling; Chaos ~13x\n"

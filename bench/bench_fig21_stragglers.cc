@@ -49,17 +49,17 @@ CHAOS_BENCH_MAIN(fig21_stragglers, "Figure 21: straggler severity vs work steali
     return 1;
   }
 
-  InputGraph g = PrepareInput(algo, BenchRmat(scale, false, seed));
+  auto g = std::make_shared<InputGraph>(PrepareInput(algo, BenchRmat(scale, false, seed)));
 
-  auto configure = [&](double severity, double alpha) {
-    ClusterConfig cfg = BenchClusterConfig(g, machines, seed);
+  auto configure = [=](double severity, double alpha) {
+    ClusterConfig cfg = BenchClusterConfig(*g, machines, seed);
     // Compute-bound regime: one core per machine, NVMe-class devices.
     cfg.cost.cores = 1;
     cfg.storage.bandwidth_bps = 2e9;
     // ~4+ streaming partitions per machine so helpers can take over whole
     // untouched partitions (finer steal granularity than one giant scan).
     cfg.memory_budget_bytes =
-        std::max<uint64_t>(g.num_vertices * 8 / (4 * static_cast<uint64_t>(machines)), 1024);
+        std::max<uint64_t>(g->num_vertices * 8 / (4 * static_cast<uint64_t>(machines)), 1024);
     cfg.alpha = alpha;
     if (severity > 1.0) {
       cfg.faults = FaultSchedule::Straggler(victim, severity, target);
@@ -67,13 +67,24 @@ CHAOS_BENCH_MAIN(fig21_stragglers, "Figure 21: straggler severity vs work steali
     return cfg;
   };
 
+  const std::vector<double> severities = {1.0, 2.0, 4.0, 8.0};
+  // Points: (severity x {steal off, steal on}).
+  Sweep<AlgoResult> sweep;
+  for (const double severity : severities) {
+    for (const double alpha : {0.0, 1.0}) {
+      sweep.Add([=] { return RunChaosAlgorithm(algo, *g, configure(severity, alpha)); });
+    }
+  }
+  const std::vector<AlgoResult> results = sweep.Run();
+
   std::printf("== Figure 21: %s, %d machines, machine %d straggling (%s), RMAT-%u ==\n",
               algo.c_str(), machines, victim, FaultTargetName(target), scale);
   PrintHeader({"severity", "steal-off s", "steal-on s", "speedup", "victim steals"});
   bool invariant_ok = true;
-  for (const double severity : {1.0, 2.0, 4.0, 8.0}) {
-    auto off = RunChaosAlgorithm(algo, g, configure(severity, /*alpha=*/0.0));
-    auto on = RunChaosAlgorithm(algo, g, configure(severity, /*alpha=*/1.0));
+  size_t idx = 0;
+  for (const double severity : severities) {
+    const AlgoResult& off = results[idx++];
+    const AlgoResult& on = results[idx++];
     uint64_t victim_steals = 0;
     for (const auto& r : on.metrics.faults) {
       victim_steals += on.metrics.StealsDuringFault(r);
@@ -86,6 +97,10 @@ CHAOS_BENCH_MAIN(fig21_stragglers, "Figure 21: straggler severity vs work steali
     PrintCell(off_s / on_s);
     PrintCell(Fixed(static_cast<double>(victim_steals), 0));
     EndRow();
+    const std::string prefix = "fig21.sev" + Fixed(severity, 0);
+    RecordMetric(prefix + ".steal_off_sim_s", off_s);
+    RecordMetric(prefix + ".steal_on_sim_s", on_s);
+    RecordMetric(prefix + ".victim_steals", static_cast<double>(victim_steals));
     // The load-balancing claim: under a serious straggler, stealing must
     // strictly win (and the victim's partitions must actually get stolen).
     if (severity >= 4.0 && (on_s >= off_s || victim_steals == 0)) {

@@ -31,32 +31,47 @@ CHAOS_BENCH_MAIN(fig7, "Figure 7: weak scaling, RMAT scale grows with machine co
     }
   }
 
+  // Point list: (algorithm x machine count); each point generates its own
+  // scaled graph, so points share nothing at all.
+  Sweep<double> sweep;
+  for (const auto& name : algos) {
+    int step = 0;
+    for (const int m : MachineSweep()) {
+      const uint32_t scale = base + static_cast<uint32_t>(step);
+      sweep.Add([name, scale, m, seed] {
+        InputGraph prepared =
+            PrepareInput(name, BenchRmat(scale, AlgorithmByName(name).needs_weights, seed));
+        return RunChaosAlgorithm(name, prepared, BenchClusterConfig(prepared, m, seed))
+            .metrics.total_seconds();
+      });
+      ++step;
+    }
+  }
+  const std::vector<double> seconds = sweep.Run();
+
   std::printf("== Figure 7: weak scaling RMAT-%u..%u, runtime normalized to m=1 ==\n", base,
               base + 5);
   PrintHeader({"algorithm", "m=1", "m=2", "m=4", "m=8", "m=16", "m=32"});
   RunningStat at32;
+  size_t idx = 0;
   for (const auto& name : algos) {
     PrintCell(name);
     double base_seconds = 0.0;
-    int step = 0;
     for (const int m : MachineSweep()) {
-      const uint32_t scale = base + static_cast<uint32_t>(step);
-      InputGraph raw = BenchRmat(scale, AlgorithmByName(name).needs_weights, seed);
-      InputGraph prepared = PrepareInput(name, raw);
-      auto result = RunChaosAlgorithm(name, prepared, BenchClusterConfig(prepared, m, seed));
-      const double seconds = result.metrics.total_seconds();
+      const double s = seconds[idx++];
       if (m == 1) {
-        base_seconds = seconds;
+        base_seconds = s;
       }
-      const double normalized = base_seconds > 0 ? seconds / base_seconds : 0.0;
+      const double normalized = base_seconds > 0 ? s / base_seconds : 0.0;
       PrintCell(normalized);
+      RecordMetric("fig7." + name + ".m" + std::to_string(m) + ".sim_s", s);
       if (m == 32) {
         at32.Add(normalized);
       }
-      ++step;
     }
     EndRow();
   }
+  RecordMetric("fig7.mean_normalized_at_32", at32.mean());
   std::printf("\nmean normalized runtime at m=32: %.2fx (paper: 1.61x, range 0.97x-2.29x)\n",
               at32.mean());
   return 0;

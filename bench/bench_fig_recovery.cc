@@ -66,47 +66,96 @@ CHAOS_BENCH_MAIN(fig_recovery, "Recovery: machine failure vs checkpoint interval
   AlgoParams params;
   params.iterations = static_cast<uint32_t>(opt.GetInt("iterations"));
 
-  std::printf("== Recovery: machine %d fails mid-run, %d machines, RMAT-%u ==\n", victim,
-              machines, scale);
-  PrintHeader({"algorithm", "ckpt-every", "rescale", "fault-free s", "end-to-end s",
-               "recover s", "lost ss", "match"});
-  bool ok = true;
-  for (const std::string algo : {"bfs", "pagerank"}) {
-    InputGraph g = PrepareInput(algo, BenchRmat(scale, false, seed));
-    const ClusterConfig base = BenchClusterConfig(g, machines, seed);
+  const std::vector<std::string> algos = {"bfs", "pagerank"};
+  // Interval sweep plus the N-1 rescale case at interval 1.
+  struct Case {
+    uint32_t interval;
+    bool rescale;
+  };
+  const std::vector<Case> cases = {{1, false}, {2, false}, {4, false}, {1, true}};
 
-    auto truth = RunChaosAlgorithm(algo, g, base, params);
-    const double truth_s = truth.metrics.total_seconds();
+  // Wave 1: fault-free ground truth per algorithm — the recovery points
+  // need its runtime to place the kill, so it must join first.
+  std::vector<std::shared_ptr<InputGraph>> graphs;
+  Sweep<AlgoResult> truth_sweep;
+  for (const std::string& algo : algos) {
+    auto g = std::make_shared<InputGraph>(PrepareInput(algo, BenchRmat(scale, false, seed)));
+    graphs.push_back(g);
+    truth_sweep.Add(
+        [algo, g, machines, seed, params] {
+          return RunChaosAlgorithm(algo, *g, BenchClusterConfig(*g, machines, seed), params);
+        });
+  }
+  const std::vector<AlgoResult> truths = truth_sweep.Run();
+
+  // Wave 2: every (algorithm x recovery case) as an independent point.
+  struct RecoveryPoint {
+    AlgoResult result;
+    RecoveryReport report;
+  };
+  Sweep<RecoveryPoint> sweep;
+  for (size_t a = 0; a < algos.size(); ++a) {
+    const std::string& algo = algos[a];
+    const auto g = graphs[a];
+    const AlgoResult& truth = truths[a];
     // Kill ~60% into the post-preprocessing computation: late enough that
     // checkpoints have committed, early enough that work remains to redo.
     const TimeNs kill_at =
         truth.metrics.preprocess_time +
         static_cast<TimeNs>(0.6 * static_cast<double>(truth.metrics.total_time -
                                                       truth.metrics.preprocess_time));
+    for (const Case c : cases) {
+      sweep.Add([algo, g, machines, seed, params, victim, kill_at, c] {
+        ClusterConfig cfg = BenchClusterConfig(*g, machines, seed);
+        cfg.checkpoint_interval = c.interval;
+        cfg.faults = FaultSchedule::MachineCrash(victim, kill_at);
+        RecoveryOptions recovery;
+        if (c.rescale) {
+          recovery.replacement_machines = machines - 1;
+        }
+        RecoveryPoint point;
+        point.result =
+            RunChaosAlgorithmWithRecovery(algo, *g, cfg, params, recovery, &point.report);
+        return point;
+      });
+    }
+  }
+  const std::vector<RecoveryPoint> points = sweep.Run();
 
-    auto run_case = [&](uint32_t interval, bool rescale) {
-      ClusterConfig cfg = base;
-      cfg.checkpoint_interval = interval;
-      cfg.faults = FaultSchedule::MachineCrash(victim, kill_at);
-      RecoveryOptions recovery;
-      if (rescale) {
-        recovery.replacement_machines = machines - 1;
-      }
-      RecoveryReport report;
-      auto result = RunChaosAlgorithmWithRecovery(algo, g, cfg, params, recovery, &report);
-      const bool match = ValuesMatch(algo, truth.values, result.values);
+  std::printf("== Recovery: machine %d fails mid-run, %d machines, RMAT-%u ==\n", victim,
+              machines, scale);
+  PrintHeader({"algorithm", "ckpt-every", "rescale", "fault-free s", "end-to-end s",
+               "recover s", "lost ss", "match"});
+  bool ok = true;
+  size_t idx = 0;
+  for (size_t a = 0; a < algos.size(); ++a) {
+    const std::string& algo = algos[a];
+    const AlgoResult& truth = truths[a];
+    const double truth_s = truth.metrics.total_seconds();
+    RecordMetric("fig_recovery." + algo + ".fault_free_sim_s", truth_s);
+    for (const Case c : cases) {
+      const RecoveryPoint& point = points[idx++];
+      const RecoveryReport& report = point.report;
+      const bool match = ValuesMatch(algo, truth.values, point.result.values);
       PrintCell(algo);
-      PrintCell(Fixed(interval, 0));
-      PrintCell(rescale ? "N-1" : "no");
+      PrintCell(Fixed(c.interval, 0));
+      PrintCell(c.rescale ? "N-1" : "no");
       PrintCell(truth_s, "%.4f");
       PrintCell(ToSeconds(report.end_to_end_time), "%.4f");
       PrintCell(ToSeconds(report.time_to_recover), "%.4f");
       PrintCell(Fixed(static_cast<double>(report.lost_work_supersteps), 0));
       PrintCell(match ? "yes" : "NO");
       EndRow();
+      const std::string prefix = "fig_recovery." + algo + ".ckpt" +
+                                 std::to_string(c.interval) + (c.rescale ? ".rescale" : "");
+      RecordMetric(prefix + ".end_to_end_sim_s", ToSeconds(report.end_to_end_time));
+      RecordMetric(prefix + ".time_to_recover_sim_s", ToSeconds(report.time_to_recover));
+      RecordMetric(prefix + ".lost_supersteps",
+                   static_cast<double>(report.lost_work_supersteps));
+      RecordMetric(prefix + ".match", match ? 1.0 : 0.0);
       auto fail = [&](const char* why) {
-        std::printf("FAIL [%s, ckpt-every=%u%s]: %s\n", algo.c_str(), interval,
-                    rescale ? ", N-1" : "", why);
+        std::printf("FAIL [%s, ckpt-every=%u%s]: %s\n", algo.c_str(), c.interval,
+                    c.rescale ? ", N-1" : "", why);
         ok = false;
       };
       if (!report.crash_detected) {
@@ -117,17 +166,13 @@ CHAOS_BENCH_MAIN(fig_recovery, "Recovery: machine failure vs checkpoint interval
       // With a checkpoint at every superstep the failure must be recovered
       // from a checkpoint, and it must cost at most a superstep of lost work
       // plus re-provisioning — never a from-scratch restart.
-      if (interval == 1 && report.crash_detected && !report.recovered_from_checkpoint) {
+      if (c.interval == 1 && report.crash_detected && !report.recovered_from_checkpoint) {
         fail("expected a checkpoint resume, got a from-scratch restart");
       }
-      if (interval == 1 && report.lost_work_supersteps > 1) {
+      if (c.interval == 1 && report.lost_work_supersteps > 1) {
         fail("every-superstep checkpoints lost more than one superstep of work");
       }
-    };
-    for (const uint32_t interval : {1u, 2u, 4u}) {
-      run_case(interval, /*rescale=*/false);
     }
-    run_case(/*interval=*/1, /*rescale=*/true);
   }
   if (!ok) {
     std::printf("\nFAIL: a recovery invariant was violated (see FAIL lines above)\n");

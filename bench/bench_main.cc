@@ -3,19 +3,25 @@
 //
 //   chaos_bench --list
 //   chaos_bench --bench=fig8 --trials=3 --out=results.json
-//   chaos_bench --bench=all --out=results.json
+//   chaos_bench --bench=all --out=results.json --jobs=8
 //   chaos_bench --bench=fig8 --scale=14          (extra flags forwarded)
 //
-// Driver-level flags (--bench, --trials, --out, --list, --help) are consumed
-// here; everything else is forwarded verbatim to the selected bench, which
-// parses it with the usual Options flag set. The JSON schema is documented
-// in README.md ("Benchmark JSON schema").
+// Driver-level flags (--bench, --trials, --out, --jobs, --list, --help) are
+// consumed here; everything else is forwarded verbatim to the selected
+// bench, which parses it with the usual Options flag set. --jobs N runs
+// each bench's sweep points on N host threads (default: hardware
+// concurrency; --jobs 1 is fully sequential) — simulation results are
+// bitwise independent of the setting, only wall_ms changes. The JSON
+// schema is documented in README.md ("Benchmark JSON schema"); per-trial
+// "metrics" carry simulation-derived values only and are byte-identical
+// across --jobs settings.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -59,6 +65,9 @@ struct TrialResult {
   int trial = 0;
   int exit_code = 0;
   double wall_ms = 0.0;
+  // Simulation-derived metrics recorded by the bench (RecordMetric),
+  // already key-sorted; deterministic across --jobs settings.
+  std::map<std::string, double> metrics;
 };
 
 struct BenchResult {
@@ -104,6 +113,7 @@ int RunOne(const BenchEntry& entry, int trials, const std::vector<std::string>& 
     for (auto& a : args) {
       argv.push_back(a.data());
     }
+    TakeRecordedMetrics();  // drop leftovers from a failed earlier trial
     const auto start = std::chrono::steady_clock::now();
     const int rc = entry.fn(static_cast<int>(argv.size()), argv.data());
     const auto end = std::chrono::steady_clock::now();
@@ -111,6 +121,7 @@ int RunOne(const BenchEntry& entry, int trials, const std::vector<std::string>& 
     t.trial = trial;
     t.exit_code = rc;
     t.wall_ms = std::chrono::duration<double, std::milli>(end - start).count();
+    t.metrics = TakeRecordedMetrics();
     result.trials.push_back(t);
     worst = std::max(worst, rc);
     std::fflush(stdout);
@@ -119,7 +130,7 @@ int RunOne(const BenchEntry& entry, int trials, const std::vector<std::string>& 
   return worst;
 }
 
-std::string ToJson(const std::vector<BenchResult>& results, int trials,
+std::string ToJson(const std::vector<BenchResult>& results, int trials, int jobs,
                    const std::vector<std::string>& forwarded) {
   std::ostringstream out;
   out.precision(6);
@@ -128,6 +139,7 @@ std::string ToJson(const std::vector<BenchResult>& results, int trials,
   out << "  \"schema\": \"chaos-bench-v1\",\n";
   out << "  \"driver\": \"chaos_bench\",\n";
   out << "  \"trials\": " << trials << ",\n";
+  out << "  \"jobs\": " << jobs << ",\n";
   out << "  \"forwarded_args\": [";
   for (size_t i = 0; i < forwarded.size(); ++i) {
     out << (i ? ", " : "") << '"' << JsonEscape(forwarded[i]) << '"';
@@ -157,8 +169,13 @@ std::string ToJson(const std::vector<BenchResult>& results, int trials,
     for (size_t i = 0; i < r.trials.size(); ++i) {
       const TrialResult& t = r.trials[i];
       out << "        {\"trial\": " << t.trial << ", \"exit_code\": " << t.exit_code
-          << ", \"wall_ms\": " << t.wall_ms << "}" << (i + 1 < r.trials.size() ? "," : "")
-          << "\n";
+          << ", \"wall_ms\": " << t.wall_ms << ",\n";
+      out << "         \"metrics\": {";
+      size_t k = 0;
+      for (const auto& [key, value] : t.metrics) {
+        out << (k++ ? ", " : "") << '"' << JsonEscape(key) << "\": " << value;
+      }
+      out << "}}" << (i + 1 < r.trials.size() ? "," : "") << "\n";
     }
     out << "      ]\n";
     out << "    }" << (b + 1 < results.size() ? "," : "") << "\n";
@@ -170,14 +187,18 @@ std::string ToJson(const std::vector<BenchResult>& results, int trials,
 
 void PrintUsage(std::FILE* stream, const char* prog) {
   std::fprintf(stream,
-               "usage: %s --bench=<name|all> [--trials=N] [--out=FILE] [bench flags...]\n"
-               "       %s --list\n",
+               "usage: %s --bench=<name|all> [--trials=N] [--jobs=N] [--out=FILE] "
+               "[bench flags...]\n"
+               "       %s --list\n"
+               "--jobs runs sweep points on N threads (0/default: all cores; results\n"
+               "are bitwise independent of the setting)\n",
                prog, prog);
 }
 
 int DriverMain(int argc, char** argv) {
   std::string bench;
   std::string trials_text = "1";
+  std::string jobs_text = "0";  // 0 = hardware concurrency
   std::string out_path;
   bool list = false;
   std::vector<std::string> forwarded;
@@ -207,6 +228,8 @@ int DriverMain(int argc, char** argv) {
       trials_text = v2;
     } else if (const char* v3 = value_of(&i, "--out")) {
       out_path = v3;
+    } else if (const char* v4 = value_of(&i, "--jobs")) {
+      jobs_text = v4;
     } else if (std::strcmp(arg, "--list") == 0) {
       list = true;
     } else if (std::strcmp(arg, "--help") == 0 && bench.empty()) {
@@ -234,6 +257,17 @@ int DriverMain(int argc, char** argv) {
                  trials_text.c_str());
     return 2;
   }
+  char* jobs_end = nullptr;
+  const long jobs_flag = std::strtol(jobs_text.c_str(), &jobs_end, 10);
+  if (jobs_end == jobs_text.c_str() || *jobs_end != '\0' || jobs_flag < 0) {
+    std::fprintf(stderr, "error: --jobs must be a non-negative integer, got '%s'\n",
+                 jobs_text.c_str());
+    return 2;
+  }
+  // 0 = all cores; the executor owns the normalization rule — read the
+  // resolved count back for the JSON record.
+  SetSweepJobs(static_cast<int>(jobs_flag));
+  const int jobs = SharedSweepExecutor().jobs();
 
   std::vector<const BenchEntry*> to_run;
   if (bench == "all") {
@@ -260,7 +294,7 @@ int DriverMain(int argc, char** argv) {
       std::fprintf(stderr, "error: cannot open %s for writing\n", out_path.c_str());
       return 1;
     }
-    out << ToJson(results, static_cast<int>(trials), forwarded);
+    out << ToJson(results, static_cast<int>(trials), jobs, forwarded);
     std::printf("wrote %s\n", out_path.c_str());
   }
   return worst;

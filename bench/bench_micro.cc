@@ -9,6 +9,7 @@
 #include <chrono>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <utility>
 
 #include "algorithms/basic.h"
@@ -93,6 +94,29 @@ uint64_t RunEventQueueThroughput(uint64_t iters) {
   return iters * 10000;
 }
 
+// Event push/pop with a realistic wakeup capture (shared flag + pointer,
+// ~24 B — what FifoResource and the sync primitives post): the case EventFn
+// stores inline where a std::function-based queue heap-allocated per Push.
+uint64_t RunEventQueueCapturedPush(uint64_t iters) {
+  auto flag = std::make_shared<bool>(false);
+  uint64_t sink = 0;
+  for (uint64_t it = 0; it < iters; ++it) {
+    EventQueue q;
+    for (int i = 0; i < 10000; ++i) {
+      q.Push((i * 2654435761u) % 100000, [flag, &sink] {
+        if (!*flag) {
+          ++sink;
+        }
+      });
+    }
+    while (!q.empty()) {
+      q.Pop().fn();
+    }
+  }
+  DoNotOptimize(sink);
+  return iters * 10000;
+}
+
 uint64_t RunCoroutineDelayRoundtrip(uint64_t iters) {
   for (uint64_t it = 0; it < iters; ++it) {
     Simulator sim;
@@ -133,6 +157,7 @@ const std::vector<MicroCase>& MicroCases() {
       {"ScatterPerEdge", RunScatterPerEdge},
       {"GridPartitionPerEdge", RunGridPartitionPerEdge},
       {"EventQueueThroughput", RunEventQueueThroughput},
+      {"EventQueueCapturedPush", RunEventQueueCapturedPush},
       {"CoroutineDelayRoundtrip", RunCoroutineDelayRoundtrip},
       {"RmatGeneration", RunRmatGeneration},
       {"ChunkRoundTrip", RunChunkRoundTrip},

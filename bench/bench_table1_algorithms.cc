@@ -18,47 +18,65 @@ CHAOS_BENCH_MAIN(table1, "Table 1: single-machine runtime, X-Stream vs Chaos") {
   const auto scale = static_cast<uint32_t>(opt.GetInt("scale"));
   const auto seed = static_cast<uint64_t>(opt.GetInt("seed"));
 
+  // One point per algorithm; each runs both systems back to back, so the
+  // sweep parallelizes across the ten rows.
+  struct Row {
+    double xstream_s = 0.0;
+    double chaos_s = 0.0;
+  };
+  Sweep<Row> sweep;
+  for (const auto& info : Algorithms()) {
+    const std::string name = info.name;
+    const bool weighted = info.needs_weights;
+    sweep.Add([name, weighted, scale, seed] {
+      InputGraph prepared = PrepareInput(name, BenchRmat(scale, weighted, seed));
+
+      // Both systems run identical profiles at *full* (unminiaturized)
+      // latencies: Table 1's gap is exactly the per-request overhead of the
+      // client-server chunk protocol, which miniaturized latencies would
+      // hide. Single-machine runs need no cross-machine scaling.
+      ClusterConfig ccfg;
+      ccfg.machines = 1;
+      ccfg.seed = seed;
+      ccfg.memory_budget_bytes =
+          std::max<uint64_t>(prepared.num_vertices * 48 / 4 + 1, 4 << 10);
+      ccfg.chunk_bytes = std::min<uint64_t>(
+          std::max<uint64_t>(prepared.input_wire_bytes() / 128 + 1, 2 << 10), 4ull << 20);
+      XStreamConfig xcfg;
+      xcfg.memory_budget_bytes = ccfg.memory_budget_bytes;
+      xcfg.chunk_bytes = ccfg.chunk_bytes;
+      xcfg.prefetch_window = ccfg.fetch_window();
+      xcfg.storage = ccfg.storage;
+      xcfg.cost = ccfg.cost;
+
+      Row row;
+      row.xstream_s = ToSeconds(RunXStreamAlgorithm(name, prepared, xcfg).total_time);
+      row.chaos_s = RunChaosAlgorithm(name, prepared, ccfg).metrics.total_seconds();
+      return row;
+    });
+  }
+  const std::vector<Row> rows = sweep.Run();
+
   std::printf("== Table 1: algorithms, 1-machine X-Stream vs Chaos (RMAT-%u, SSD) ==\n", scale);
   PrintHeader({"algorithm", "xstream(s)", "chaos(s)", "chaos/xs"});
   double ratio_sum = 0.0;
-  int rows = 0;
+  int count = 0;
+  size_t idx = 0;
   for (const auto& info : Algorithms()) {
-    InputGraph raw = BenchRmat(scale, info.needs_weights, seed);
-    InputGraph prepared = PrepareInput(info.name, raw);
-
-    // Both systems run identical profiles at *full* (unminiaturized)
-    // latencies: Table 1's gap is exactly the per-request overhead of the
-    // client-server chunk protocol, which miniaturized latencies would
-    // hide. Single-machine runs need no cross-machine scaling.
-    ClusterConfig ccfg;
-    ccfg.machines = 1;
-    ccfg.seed = seed;
-    ccfg.memory_budget_bytes =
-        std::max<uint64_t>(prepared.num_vertices * 48 / 4 + 1, 4 << 10);
-    ccfg.chunk_bytes = std::min<uint64_t>(
-        std::max<uint64_t>(prepared.input_wire_bytes() / 128 + 1, 2 << 10), 4ull << 20);
-    XStreamConfig xcfg;
-    xcfg.memory_budget_bytes = ccfg.memory_budget_bytes;
-    xcfg.chunk_bytes = ccfg.chunk_bytes;
-    xcfg.prefetch_window = ccfg.fetch_window();
-    xcfg.storage = ccfg.storage;
-    xcfg.cost = ccfg.cost;
-
-    auto xs = RunXStreamAlgorithm(info.name, prepared, xcfg);
-    auto chaos_run = RunChaosAlgorithm(info.name, prepared, ccfg);
-
-    const double xs_s = ToSeconds(xs.total_time);
-    const double ch_s = chaos_run.metrics.total_seconds();
-    const double ratio = xs_s > 0 ? ch_s / xs_s : 0.0;
+    const Row& row = rows[idx++];
+    const double ratio = row.xstream_s > 0 ? row.chaos_s / row.xstream_s : 0.0;
     ratio_sum += ratio;
-    ++rows;
+    ++count;
     PrintCell(info.name);
-    PrintCell(xs_s);
-    PrintCell(ch_s);
+    PrintCell(row.xstream_s);
+    PrintCell(row.chaos_s);
     PrintCell(ratio);
     EndRow();
+    RecordMetric("table1." + info.name + ".xstream_sim_s", row.xstream_s);
+    RecordMetric("table1." + info.name + ".chaos_sim_s", row.chaos_s);
   }
+  RecordMetric("table1.mean_ratio", ratio_sum / count);
   std::printf("\nmean chaos/xstream ratio: %.2f (paper: 1.0x - 2.5x, mean ~1.4x)\n",
-              ratio_sum / rows);
+              ratio_sum / count);
   return 0;
 }

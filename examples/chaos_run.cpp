@@ -17,20 +17,29 @@
 // on the N-1 survivors with --rescale, on a same-size cluster without:
 //   chaos_run --algo pagerank --scale 16 --machines 8
 //             --checkpoint-interval 2 --kill-machine 2 --kill-at 0.08
+//
+// Sweep mode: cross-product over comma-separated knob lists, one
+// self-contained simulation per point, run in parallel under --jobs
+// (results are bitwise independent of the job count — util/parallel.h):
+//   chaos_run --algo pagerank --scale 14 --jobs 8
+//             --sweep "machines=1,2,4,8;chunk-kb=128,256"
 #include <cstdio>
 #include <fstream>
+#include <memory>
 
 #include "algorithms/runner.h"
 #include "graph/edge_list_io.h"
 #include "graph/generators.h"
 #include "util/logging.h"
 #include "util/options.h"
+#include "util/parallel.h"
 #include "util/stats.h"
 
 using namespace chaos;
 
-int main(int argc, char** argv) {
-  Options opt;
+namespace {
+
+void RegisterFlags(Options& opt) {
   opt.AddString("algo", "pagerank",
                 "bfs|wcc|mcst|mis|sssp|pagerank|scc|conductance|spmv|bp");
   opt.AddString("input", "", "edge-list file (binary or text; empty = --generate)");
@@ -57,18 +66,29 @@ int main(int argc, char** argv) {
   opt.AddInt("source", 0, "source vertex (bfs/sssp)");
   opt.AddInt("iterations", 5, "iterations (pagerank/bp)");
   opt.AddInt("seed", 1, "seed");
-  opt.AddString("out", "", "write per-vertex results to this file");
+  opt.AddString("out", "", "write per-vertex results to this file (single run only)");
+  opt.AddString("sweep", "",
+                "semicolon-separated knob lists, e.g. \"machines=1,2,4;chunk-kb=128,256\":"
+                " run the cross product as parallel points");
+  opt.AddInt("jobs", 0, "host threads for --sweep points (0 = all cores)");
   opt.AddBool("verbose", false, "info-level logging");
-  if (auto err = opt.Parse(argc - 1, argv + 1); err || opt.help_requested()) {
-    if (err) {
-      std::fprintf(stderr, "error: %s\n", err->c_str());
-    }
-    opt.PrintHelp(argv[0]);
-    return err ? 1 : 0;
-  }
-  if (opt.GetBool("verbose")) {
-    SetLogLevel(LogLevel::kInfo);
-  }
+}
+
+struct RunOutcome {
+  int rc = 1;
+  double sim_seconds = 0.0;
+  double preprocess_seconds = 0.0;
+  uint64_t supersteps = 0;
+  uint64_t vertices = 0;
+  uint64_t edges = 0;
+  bool recovered = false;
+};
+
+// One complete simulation driven by a parsed flag set. `quiet` suppresses
+// the detailed per-run narration (sweep points print nothing; the summary
+// table is produced by the caller after the sweep joins).
+RunOutcome RunOnce(const Options& opt, bool quiet) {
+  RunOutcome outcome;
   const std::string algo = opt.GetString("algo");
   const AlgorithmInfo& info = AlgorithmByName(algo);
   const auto seed = static_cast<uint64_t>(opt.GetInt("seed"));
@@ -84,10 +104,10 @@ int main(int argc, char** argv) {
     if (!loaded.has_value()) {
       std::fprintf(stderr, "cannot load %s: %s\n", opt.GetString("input").c_str(),
                    error.c_str());
-      return 1;
+      return outcome;
     }
     raw = std::move(*loaded);
-    if (info.needs_weights && !raw.weighted) {
+    if (info.needs_weights && !raw.weighted && !quiet) {
       std::fprintf(stderr, "note: %s expects weights; using weight 1 per edge\n",
                    algo.c_str());
     }
@@ -116,14 +136,18 @@ int main(int argc, char** argv) {
       raw = GenerateUniformRandom(1ull << scale, 16ull << scale, info.needs_weights, seed);
     } else {
       std::fprintf(stderr, "unknown generator '%s'\n", kind.c_str());
-      return 1;
+      return outcome;
     }
   }
   InputGraph prepared = PrepareInput(algo, raw);
-  std::printf("%s over %llu vertices / %llu edges (%s input)\n", algo.c_str(),
-              static_cast<unsigned long long>(prepared.num_vertices),
-              static_cast<unsigned long long>(prepared.num_edges()),
-              FormatBytes(prepared.input_wire_bytes()).c_str());
+  outcome.vertices = prepared.num_vertices;
+  outcome.edges = prepared.num_edges();
+  if (!quiet) {
+    std::printf("%s over %llu vertices / %llu edges (%s input)\n", algo.c_str(),
+                static_cast<unsigned long long>(prepared.num_vertices),
+                static_cast<unsigned long long>(prepared.num_edges()),
+                FormatBytes(prepared.input_wire_bytes()).c_str());
+  }
 
   // ---- Cluster.
   ClusterConfig cfg;
@@ -149,18 +173,18 @@ int main(int argc, char** argv) {
   if (victim >= 0) {
     if (victim >= cfg.machines) {
       std::fprintf(stderr, "--straggler must be in [0, %d)\n", cfg.machines);
-      return 1;
+      return outcome;
     }
     FaultTarget target = FaultTarget::kCpu;
     if (!ParseFaultTarget(opt.GetString("straggler-target"), &target)) {
       std::fprintf(stderr, "unknown --straggler-target '%s'\n",
                    opt.GetString("straggler-target").c_str());
-      return 1;
+      return outcome;
     }
     const double severity = opt.GetDouble("straggler-severity");
     if (severity < 1.0) {
       std::fprintf(stderr, "--straggler-severity must be >= 1\n");
-      return 1;
+      return outcome;
     }
     FaultEvent fault;
     fault.machine = victim;
@@ -169,9 +193,11 @@ int main(int argc, char** argv) {
     fault.at = static_cast<TimeNs>(opt.GetDouble("fault-at-ms") * kNsPerMs);
     fault.duration = static_cast<TimeNs>(opt.GetDouble("fault-duration-ms") * kNsPerMs);
     cfg.faults.Add(fault);
-    std::printf("injecting: machine %d %s at %.1fx speed (%s)\n", victim,
-                FaultTargetName(target), 1.0 / severity,
-                fault.permanent() ? "permanent" : "transient");
+    if (!quiet) {
+      std::printf("injecting: machine %d %s at %.1fx speed (%s)\n", victim,
+                  FaultTargetName(target), 1.0 / severity,
+                  fault.permanent() ? "permanent" : "transient");
+    }
   }
 
   // ---- Machine failure + automatic recovery.
@@ -180,11 +206,11 @@ int main(int argc, char** argv) {
   if (kill_machine >= 0) {
     if (kill_machine >= cfg.machines) {
       std::fprintf(stderr, "--kill-machine must be in [0, %d)\n", cfg.machines);
-      return 1;
+      return outcome;
     }
     if (opt.GetBool("rescale") && cfg.machines < 2) {
       std::fprintf(stderr, "--rescale needs at least 2 machines (cannot shrink below 1)\n");
-      return 1;
+      return outcome;
     }
     FaultEvent kill;
     kill.at = static_cast<TimeNs>(opt.GetDouble("kill-at") * static_cast<double>(kNsPerSec));
@@ -195,10 +221,12 @@ int main(int argc, char** argv) {
     if (opt.GetBool("rescale")) {
       recovery.replacement_machines = cfg.machines - 1;
     }
-    std::printf("injecting: machine %d fails (fail-stop) at %.3fs; recovery on %d machines\n",
-                kill_machine, opt.GetDouble("kill-at"),
-                recovery.replacement_machines > 0 ? recovery.replacement_machines
-                                                  : cfg.machines);
+    if (!quiet) {
+      std::printf(
+          "injecting: machine %d fails (fail-stop) at %.3fs; recovery on %d machines\n",
+          kill_machine, opt.GetDouble("kill-at"),
+          recovery.replacement_machines > 0 ? recovery.replacement_machines : cfg.machines);
+    }
   }
 
   AlgoParams params;
@@ -209,8 +237,16 @@ int main(int argc, char** argv) {
                     ? RunChaosAlgorithmWithRecovery(algo, prepared, cfg, params, recovery,
                                                     &recovery_report)
                     : RunChaosAlgorithm(algo, prepared, cfg, params);
+  outcome.sim_seconds = result.metrics.total_seconds();
+  outcome.preprocess_seconds = ToSeconds(result.metrics.preprocess_time);
+  outcome.supersteps = result.supersteps;
+  outcome.recovered = recovery_report.crash_detected;
+  outcome.rc = 0;
 
   // ---- Report.
+  if (quiet) {
+    return outcome;
+  }
   std::printf("\n%s", result.metrics.Summary().c_str());
   if (kill_machine >= 0) {
     if (!recovery_report.crash_detected) {
@@ -245,5 +281,137 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(prepared.num_vertices),
                 opt.GetString("out").c_str());
   }
-  return 0;
+  return outcome;
+}
+
+// ---- Sweep mode.
+
+struct SweepKnob {
+  std::string name;
+  std::vector<std::string> values;
+};
+
+// Parses "machines=1,2,4;chunk-kb=128,256" into knob lists.
+bool ParseSweepSpec(const std::string& spec, std::vector<SweepKnob>* knobs) {
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t semi = spec.find(';', pos);
+    if (semi == std::string::npos) {
+      semi = spec.size();
+    }
+    const std::string part = spec.substr(pos, semi - pos);
+    pos = semi + 1;
+    if (part.empty()) {
+      continue;
+    }
+    const size_t eq = part.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 >= part.size()) {
+      std::fprintf(stderr, "bad --sweep entry '%s' (want knob=v1,v2,...)\n", part.c_str());
+      return false;
+    }
+    SweepKnob knob;
+    knob.name = part.substr(0, eq);
+    size_t vpos = eq + 1;
+    while (vpos <= part.size()) {
+      size_t comma = part.find(',', vpos);
+      if (comma == std::string::npos) {
+        comma = part.size();
+      }
+      const std::string value = part.substr(vpos, comma - vpos);
+      if (value.empty()) {
+        std::fprintf(stderr, "empty value in --sweep entry '%s'\n", part.c_str());
+        return false;
+      }
+      knob.values.push_back(value);
+      vpos = comma + 1;
+    }
+    knobs->push_back(std::move(knob));
+  }
+  if (knobs->empty()) {
+    std::fprintf(stderr, "--sweep given but no knobs parsed\n");
+    return false;
+  }
+  return true;
+}
+
+int RunSweep(const Options& base, const std::vector<SweepKnob>& knobs, int jobs) {
+  // Cross product, row-major in declaration order: the last knob varies
+  // fastest, matching nested for-loops.
+  size_t num_points = 1;
+  for (const SweepKnob& k : knobs) {
+    num_points *= k.values.size();
+  }
+  struct Point {
+    Options opt;          // base flags + this point's overrides
+    std::string label;    // "machines=2 chunk-kb=128"
+  };
+  std::vector<Point> grid;
+  grid.reserve(num_points);
+  for (size_t p = 0; p < num_points; ++p) {
+    size_t rem = p;
+    std::vector<std::string> args;
+    std::string label;
+    for (size_t k = knobs.size(); k-- > 0;) {
+      const SweepKnob& knob = knobs[k];
+      const std::string& value = knob.values[rem % knob.values.size()];
+      rem /= knob.values.size();
+      args.push_back("--" + knob.name + "=" + value);
+      label = knob.name + "=" + value + (label.empty() ? "" : " ") + label;
+    }
+    Point point{base, std::move(label)};
+    std::vector<char*> argv;
+    argv.reserve(args.size());
+    for (auto& a : args) {
+      argv.push_back(a.data());
+    }
+    if (auto err = point.opt.Parse(static_cast<int>(argv.size()), argv.data())) {
+      std::fprintf(stderr, "--sweep knob rejected: %s\n", err->c_str());
+      return 1;
+    }
+    grid.push_back(std::move(point));
+  }
+
+  SweepExecutor executor(jobs);  // <= 0 = all cores; executor normalizes
+  std::printf("sweep: %zu points x {%s}, %d job(s)\n", grid.size(),
+              base.GetString("algo").c_str(), executor.jobs());
+  std::vector<RunOutcome> outcomes(grid.size());
+  executor.ParallelFor(grid.size(),
+                       [&](size_t i) { outcomes[i] = RunOnce(grid[i].opt, /*quiet=*/true); });
+
+  std::printf("%-44s %14s %14s %12s %8s\n", "point", "sim-time(s)", "preproc(s)",
+              "supersteps", "status");
+  int rc = 0;
+  for (size_t i = 0; i < grid.size(); ++i) {
+    const RunOutcome& o = outcomes[i];
+    std::printf("%-44s %14.4f %14.4f %12llu %8s\n", grid[i].label.c_str(), o.sim_seconds,
+                o.preprocess_seconds, static_cast<unsigned long long>(o.supersteps),
+                o.rc == 0 ? (o.recovered ? "recov" : "ok") : "FAIL");
+    rc = std::max(rc, o.rc);
+  }
+  return rc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  RegisterFlags(opt);
+  if (auto err = opt.Parse(argc - 1, argv + 1); err || opt.help_requested()) {
+    if (err) {
+      std::fprintf(stderr, "error: %s\n", err->c_str());
+    }
+    opt.PrintHelp(argv[0]);
+    return err ? 1 : 0;
+  }
+  if (opt.GetBool("verbose")) {
+    SetLogLevel(LogLevel::kInfo);
+  }
+  if (!opt.GetString("sweep").empty()) {
+    std::vector<SweepKnob> knobs;
+    if (!ParseSweepSpec(opt.GetString("sweep"), &knobs)) {
+      return 1;
+    }
+    return RunSweep(opt, knobs, static_cast<int>(opt.GetInt("jobs")));
+  }
+  return RunOnce(opt, /*quiet=*/false).rc;
 }

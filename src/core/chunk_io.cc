@@ -21,12 +21,13 @@ Message StorageRequest(MachineId src, MachineId dst, uint32_t type, uint64_t wir
 }  // namespace
 
 ChunkFetcher::ChunkFetcher(EngineContext* ctx, Rng* rng, SetId set, uint64_t epoch, int window,
-                           MachineId local_master_target)
+                           MachineId local_master_target, bool preserve_payload)
     : ctx_(ctx),
       rng_(rng),
       set_(set),
       epoch_(epoch),
       window_(window),
+      preserve_payload_(preserve_payload),
       forced_target_(local_master_target),
       cond_(ctx->sim),
       credits_(window),
@@ -115,7 +116,7 @@ Task<> ChunkFetcher::Worker() {
     in_flight_per_engine_[static_cast<size_t>(target)]++;
     // Named locals around coroutine-call arguments (g++ 12 wrong-code with
     // braced aggregate temporaries in co_await expressions; see sim/task.h).
-    ReadChunkReq body{set_, epoch_};
+    ReadChunkReq body{set_, epoch_, preserve_payload_};
     Message req = StorageRequest(ctx_->machine, target, kReadChunkReq, kControlMsgBytes,
                                  std::move(body));
     Message resp = co_await ctx_->bus->Call(std::move(req));
@@ -165,7 +166,9 @@ Task<> ChunkFetcher::DirectoryWorker() {
       cond_.NotifyAll();
       break;
     }
-    ReadIndexedReq body{set_, next.index, /*consume=*/true, epoch_};
+    // Snapshot scans must not free the update payloads the real gather
+    // still has to drain (mirrors the preserve flag on sequential reads).
+    ReadIndexedReq body{set_, next.index, /*consume=*/!preserve_payload_, epoch_};
     Message read = StorageRequest(ctx_->machine, next.engine, kReadIndexedReq,
                                   kControlMsgBytes, std::move(body));
     Message resp = co_await ctx_->bus->Call(std::move(read));

@@ -63,8 +63,10 @@ struct EngineContext {
 // queried; in kCentralDirectory mode targets come from the directory.
 class ChunkFetcher {
  public:
+  // `preserve_payload` marks a non-consuming scan (checkpoint snapshots):
+  // the storage engines keep update-set payloads resident after serving.
   ChunkFetcher(EngineContext* ctx, Rng* rng, SetId set, uint64_t epoch, int window,
-               MachineId local_master_target = kNoMachine);
+               MachineId local_master_target = kNoMachine, bool preserve_payload = false);
 
   // Must be called once; spawns the fetch workers.
   void Start();
@@ -94,6 +96,7 @@ class ChunkFetcher {
   SetId set_;
   uint64_t epoch_;
   int window_;
+  bool preserve_payload_;
   MachineId forced_target_;
 
   CondEvent cond_;

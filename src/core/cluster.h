@@ -5,6 +5,7 @@
 #define CHAOS_CORE_CLUSTER_H_
 
 #include <memory>
+#include <optional>
 #include <utility>
 #include <vector>
 
@@ -98,6 +99,19 @@ class Cluster {
     return *parts_;
   }
 
+  // Outputs emitted during supersteps that completed before `superstep`,
+  // concatenated in machine order — the committed output stream a recovery
+  // restart must preserve from a crashed run (core/recovery.h).
+  std::vector<typename P::OutputRecord> OutputsBefore(uint64_t superstep) const {
+    std::vector<typename P::OutputRecord> out;
+    for (const auto& engine : engines_) {
+      const auto& all = engine->outputs();
+      const size_t n = engine->NumOutputsBefore(superstep);
+      out.insert(out.end(), all.begin(), all.begin() + static_cast<ptrdiff_t>(n));
+    }
+    return out;
+  }
+
   // Copies every chunk of `kind` sets (all partitions) from `from` into this
   // cluster's engines at the same machine positions, relabeling to `as`.
   // Machine counts must match. Used by crash-recovery flows.
@@ -175,9 +189,14 @@ class Cluster {
   // are reassembled from `vertex_source` (the committed checkpoint side)
   // under the old partitioning, then re-chunked under THIS cluster's
   // partitioning and placed at their new hashed homes; edges are re-binned
-  // by the new vertex ranges. Call PreparePartitioning first. Also valid
-  // for equal machine counts, where ImportSets is the cheaper path.
-  void ImportRepartitioned(Cluster<P>& from, SetKind vertex_source, const GraphMeta& meta) {
+  // by the new vertex ranges, and the checkpoint's update-set snapshot
+  // (`updates_source`, when given) is re-binned by the new partition of
+  // each record's destination vertex and relabeled `updates_as`. Call
+  // PreparePartitioning first. Also valid for equal machine counts, where
+  // ImportSets is the cheaper path.
+  void ImportRepartitioned(Cluster<P>& from, SetKind vertex_source, const GraphMeta& meta,
+                           std::optional<SetKind> updates_source = std::nullopt,
+                           SetKind updates_as = SetKind::kUpdatesEven) {
     CHAOS_CHECK(parts_ != nullptr);
     CHAOS_CHECK_EQ(from.partitioning().num_vertices(), parts_->num_vertices());
 
@@ -243,6 +262,55 @@ class Cluster {
     for (PartitionId q = 0; q < parts_->num_partitions(); ++q) {
       if (!bins[q].empty()) {
         flush(q);
+      }
+    }
+
+    // ---- update snapshot: re-bin each record by the new partition of its
+    // destination vertex (updates are gathered at their target).
+    if (updates_source.has_value()) {
+      using Rec = UpdateRecord<typename P::UpdateValue>;
+      const uint64_t update_wire = UpdateWireBytes<typename P::UpdateValue>(
+          meta.vertex_id_wire_bytes);
+      const uint64_t per_update_chunk =
+          std::max<uint64_t>(1, config_.chunk_bytes / update_wire);
+      std::vector<std::vector<Rec>> ubins(parts_->num_partitions());
+      std::vector<uint32_t> unext(parts_->num_partitions(), 0);
+      auto uflush = [&](PartitionId q) {
+        const uint64_t wire = ubins[q].size() * update_wire;
+        const SetId set{q, updates_as};
+        const MachineId target =
+            config_.placement == Placement::kLocalMaster
+                ? parts_->Master(q)
+                : static_cast<MachineId>(rng.Below(static_cast<uint64_t>(config_.machines)));
+        if (directory_ != nullptr) {
+          directory_->HostRecord(set, unext[q], target);
+        }
+        storage_[static_cast<size_t>(target)]->HostAddChunk(
+            set, MakeChunk<Rec>(unext[q]++, wire, std::move(ubins[q])));
+        ubins[q] = {};
+      };
+      for (MachineId m = 0; m < from.config().machines; ++m) {
+        StorageEngine* src = from.storage(m);
+        for (const SetId& id : src->HostListSets()) {
+          if (id.kind != *updates_source) {
+            continue;
+          }
+          for (const Chunk& c : *src->HostGetSet(id)) {
+            const Chunk loaded = src->HostMaterialize(id, c);
+            for (const Rec& r : ChunkSpan<Rec>(loaded)) {
+              const PartitionId q = parts_->PartitionOf(r.dst);
+              ubins[q].push_back(r);
+              if (ubins[q].size() >= per_update_chunk) {
+                uflush(q);
+              }
+            }
+          }
+        }
+      }
+      for (PartitionId q = 0; q < parts_->num_partitions(); ++q) {
+        if (!ubins[q].empty()) {
+          uflush(q);
+        }
       }
     }
   }

@@ -15,6 +15,7 @@
 #ifndef CHAOS_CORE_COMPUTE_ENGINE_H_
 #define CHAOS_CORE_COMPUTE_ENGINE_H_
 
+#include <algorithm>
 #include <cmath>
 #include <deque>
 #include <optional>
@@ -174,6 +175,21 @@ class ComputeEngine {
   uint64_t supersteps_run() const { return superstep_; }
   const G& final_global() const { return global_; }
   const std::vector<Out>& outputs() const { return outputs_; }
+  // Prefix of outputs() emitted by supersteps that completed their gather
+  // barrier before absolute superstep `superstep`. Recovery uses this to
+  // carry a crashed run's already-committed output stream (e.g. MSF edges)
+  // across the restart: the aborted superstep's partial emissions fall
+  // after the last mark and are excluded.
+  size_t NumOutputsBefore(uint64_t superstep) const {
+    if (superstep <= start_superstep_) {
+      return 0;
+    }
+    const uint64_t completed = superstep - start_superstep_;
+    if (output_marks_.empty()) {
+      return 0;
+    }
+    return output_marks_[std::min<size_t>(completed, output_marks_.size()) - 1];
+  }
   TimeNs preprocess_end_time() const { return preprocess_end_time_; }
   // Coordinator-side (machine 0): sim time at the end of each completed
   // superstep, indexed from the first superstep this run executed. Recovery
@@ -199,6 +215,9 @@ class ComputeEngine {
   // ----- epochs: every distinct sequential scan gets a unique epoch id.
   uint64_t ScatterEpoch() const { return 3 + 2 * superstep_; }
   uint64_t GatherEpoch() const { return 4 + 2 * superstep_; }
+  // Commit-time update-snapshot scans use a disjoint range so they never
+  // collide with a phase scan of the same set.
+  uint64_t CheckpointScanEpoch() const { return (1ull << 40) + superstep_; }
   static constexpr uint64_t kInputEpoch = 1;
   static constexpr uint64_t kDegreesEpoch = 2;
 
@@ -244,6 +263,9 @@ class ComputeEngine {
       if (crash) {
         break;
       }
+      // Superstep completed cluster-wide: everything in outputs_ so far is
+      // part of the committed output stream (see NumOutputsBefore).
+      output_marks_.push_back(outputs_.size());
       // The final superstep's checkpoint copy is written during its gather
       // but not committed (the computation is complete; recovery would use
       // the final vertex sets themselves). The uncommitted side is left
@@ -900,17 +922,53 @@ class ComputeEngine {
     if (aborted_) {
       co_return;  // failure before the commit point: this checkpoint never was
     }
+    // Snapshot the in-flight update set of the resume superstep into the
+    // incoming snapshot side. Updates emitted by the just-finished gather
+    // (targeting superstep_ + 1) cannot be regenerated from the vertex
+    // checkpoint — resume re-runs that superstep's *scatter*, not the
+    // previous gather — so they are part of the recoverable state. For
+    // pure-scatter programs (WantScatter always true) this set is empty and
+    // the snapshot costs only the scan handshakes.
+    const SetKind new_usnap = checkpoint_counter_ % 2 == 0 ? SetKind::kUpdatesCkptA
+                                                           : SetKind::kUpdatesCkptB;
+    {
+      BucketTimer t(ctx_.sim, metrics_, Bucket::kCheckpoint);
+      ChunkWriter writer(&ctx_, &rng_, ctx_.config->fetch_window());
+      for (const PartitionId p : own_partitions_) {
+        ChunkFetcher fetcher(&ctx_, &rng_, UpdatesSet(p, superstep_ + 1),
+                             CheckpointScanEpoch(), ctx_.config->fetch_window(),
+                             ctx_.config->placement == Placement::kLocalMaster
+                                 ? parts_->Master(p)
+                                 : kNoMachine,
+                             /*preserve_payload=*/true);
+        fetcher.Start();
+        while (true) {
+          auto chunk = co_await fetcher.Next();
+          if (!chunk.has_value()) {
+            break;
+          }
+          co_await writer.Write(SetId{p, new_usnap}, std::move(*chunk), ctx_.machine);
+        }
+      }
+      co_await writer.Drain();
+    }
+    co_await Barrier(/*advance=*/false);  // update snapshots durable cluster-wide
+    if (aborted_) {
+      co_return;  // failure before the commit point: prior checkpoint intact
+    }
     checkpointed_global_ = global_;
     checkpointed_superstep_ = superstep_ + 1;
     has_checkpoint_ = true;
     const SetKind old_side =
         checkpoint_counter_ % 2 == 0 ? SetKind::kCheckpointB : SetKind::kCheckpointA;
+    const SetKind old_usnap = checkpoint_counter_ % 2 == 0 ? SetKind::kUpdatesCkptB
+                                                           : SetKind::kUpdatesCkptA;
     ++checkpoint_counter_;  // commit point passed: the new side is current
     {
       BucketTimer t(ctx_.sim, metrics_, Bucket::kCheckpoint);
       for (const PartitionId p : own_partitions_) {
-        const SetId old_set{p, old_side};
-        co_await DeleteSetEverywhere(&ctx_, old_set);
+        co_await DeleteSetEverywhere(&ctx_, SetId{p, old_side});
+        co_await DeleteSetEverywhere(&ctx_, SetId{p, old_usnap});
       }
     }
     co_await Barrier(/*advance=*/false);  // phase 2: commit visible everywhere
@@ -954,6 +1012,7 @@ class ComputeEngine {
   CondEvent stolen_taken_;
 
   std::vector<Out> outputs_;
+  std::vector<size_t> output_marks_;  // outputs_.size() after each completed superstep
   uint64_t update_wire_;
   uint64_t checkpoint_counter_ = 0;
   G checkpointed_global_{};

@@ -97,15 +97,31 @@ RunResult<P> RunWithRecovery(const ClusterConfig& config, P prog, const InputGra
     rep.recovered_from_checkpoint = true;
     Cluster<P> replacement(rcfg, prog);
     replacement.PreparePartitioning(input.num_vertices);
+    // The resume superstep's update set travels with the checkpoint: its
+    // commit-time snapshot (gather-phase emissions the resumed scatter
+    // cannot regenerate) is re-imported under the live update-set kind the
+    // first resumed gather will scan.
+    const SetKind usnap = UpdatesCkptFor(first.checkpoint_side);
+    const SetKind resume_updates = UpdatesFor(first.checkpoint_superstep);
     if (rcfg.machines == config.machines) {
       // Same-size replacement: chunk homes are machine-count-stable, so the
       // durable sets copy across position-for-position.
       replacement.ImportSets(cluster, SetKind::kEdges, SetKind::kEdges);
       replacement.ImportSets(cluster, first.checkpoint_side, SetKind::kVertices);
+      replacement.ImportSets(cluster, usnap, resume_updates);
     } else {
-      replacement.ImportRepartitioned(cluster, first.checkpoint_side, meta);
+      replacement.ImportRepartitioned(cluster, first.checkpoint_side, meta, usnap,
+                                      resume_updates);
     }
     second = replacement.Resume(meta, first.checkpoint_global);
+    // The replacement re-executes supersteps >= resume_superstep and
+    // re-emits their sink outputs; outputs emitted by the crashed run's
+    // earlier, completed supersteps (e.g. MSF edges) are part of the final
+    // answer and must be carried across the restart.
+    auto committed = cluster.OutputsBefore(first.checkpoint_superstep);
+    second.outputs.insert(second.outputs.begin(),
+                          std::make_move_iterator(committed.begin()),
+                          std::make_move_iterator(committed.end()));
   } else {
     // The failure hit before any checkpoint committed (e.g. during
     // pre-processing): nothing to resume from, restart the whole run.

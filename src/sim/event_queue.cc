@@ -6,7 +6,7 @@
 
 namespace chaos {
 
-void EventQueue::Push(TimeNs time, std::function<void()> fn) {
+void EventQueue::Push(TimeNs time, EventFn fn) {
   heap_.push_back(Event{time, next_seq_++, std::move(fn)});
   SiftUp(heap_.size() - 1);
 }

@@ -3,23 +3,130 @@
 #ifndef CHAOS_SIM_EVENT_QUEUE_H_
 #define CHAOS_SIM_EVENT_QUEUE_H_
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "sim/time.h"
+#include "util/common.h"
 
 namespace chaos {
+
+// Move-only callable with small-buffer storage, sized for the DES hot path.
+//
+// Nearly every event callback captures a coroutine handle, sometimes plus a
+// shared_ptr flag or a small pointer pair — well under kInlineBytes — so
+// pushing an event performs no heap allocation at all, where std::function
+// would allocate (libstdc++ inlines only 16 bytes) on every Push. This is
+// the event "pooling" of the simulator: callback storage lives inside the
+// heap slot the queue already owns. Oversized captures fall back to the
+// heap transparently.
+class EventFn {
+ public:
+  static constexpr size_t kInlineBytes = 48;
+
+  EventFn() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, EventFn> &&
+                                        std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  EventFn(F&& f) {  // NOLINT(google-explicit-constructor): drop-in for lambdas
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineBytes && alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      ops_ = &InlineOps<Fn>::kOps;
+    } else {
+      *reinterpret_cast<Fn**>(storage_) = new Fn(std::forward<F>(f));
+      ops_ = &HeapOps<Fn>::kOps;
+    }
+  }
+
+  EventFn(EventFn&& other) noexcept { MoveFrom(other); }
+
+  EventFn& operator=(EventFn&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+
+  ~EventFn() { Reset(); }
+
+  void operator()() {
+    CHAOS_DCHECK(ops_ != nullptr);
+    ops_->invoke(storage_);
+  }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* storage);
+    void (*move)(void* dst, void* src);  // move-construct dst from src
+    void (*destroy)(void* storage);
+  };
+
+  template <typename Fn>
+  struct InlineOps {
+    static void Invoke(void* storage) { (*std::launder(reinterpret_cast<Fn*>(storage)))(); }
+    static void Move(void* dst, void* src) {
+      Fn* from = std::launder(reinterpret_cast<Fn*>(src));
+      ::new (dst) Fn(std::move(*from));
+      from->~Fn();
+    }
+    static void Destroy(void* storage) { std::launder(reinterpret_cast<Fn*>(storage))->~Fn(); }
+    static constexpr Ops kOps = {&Invoke, &Move, &Destroy};
+  };
+
+  template <typename Fn>
+  struct HeapOps {
+    static Fn* Ptr(void* storage) { return *reinterpret_cast<Fn**>(storage); }
+    static void Invoke(void* storage) { (*Ptr(storage))(); }
+    static void Move(void* dst, void* src) {
+      *reinterpret_cast<Fn**>(dst) = Ptr(src);
+    }
+    static void Destroy(void* storage) { delete Ptr(storage); }
+    static constexpr Ops kOps = {&Invoke, &Move, &Destroy};
+  };
+
+  void MoveFrom(EventFn& other) {
+    if (other.ops_ != nullptr) {
+      ops_ = other.ops_;
+      ops_->move(storage_, other.storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  void Reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
 
 class EventQueue {
  public:
   struct Event {
     TimeNs time = 0;
     uint64_t seq = 0;
-    std::function<void()> fn;
+    EventFn fn;
   };
 
-  void Push(TimeNs time, std::function<void()> fn);
+  EventQueue() { heap_.reserve(kInitialCapacity); }
+
+  void Push(TimeNs time, EventFn fn);
   // Removes and returns the earliest event. Queue must be non-empty.
   Event Pop();
   const Event& Peek() const;
@@ -29,6 +136,10 @@ class EventQueue {
   uint64_t total_pushed() const { return next_seq_; }
 
  private:
+  // Typical cluster runs keep hundreds of in-flight events; reserving up
+  // front keeps the first supersteps from re-allocating the heap array.
+  static constexpr size_t kInitialCapacity = 256;
+
   static bool Earlier(const Event& a, const Event& b) {
     return a.time < b.time || (a.time == b.time && a.seq < b.seq);
   }

@@ -186,16 +186,31 @@ class FifoResource {
     return RateChangeAwaiter{this, target};
   }
 
+  // Wakes every sleeper so it re-projects under the new rate. All handles
+  // resume inside ONE posted event, in registration order — same
+  // deterministic order as one event per waiter, but a rate change costs a
+  // single heap push instead of re-sifting the event heap once per sleeper
+  // (SetRate already pays an O(queue) ticket re-projection; this keeps the
+  // event-queue side O(log n)).
   void WakeAllWaiters() {
     std::vector<RateWaiter> waiters;
     waiters.swap(rate_waiters_);
+    std::vector<std::coroutine_handle<>> to_resume;
+    to_resume.reserve(waiters.size());
     for (auto& w : waiters) {
       if (!*w.fired) {
         *w.fired = true;  // the pending timed callback becomes a no-op
-        const auto h = w.h;
-        sim_->Post(0, [h] { h.resume(); });
+        to_resume.push_back(w.h);
       }
     }
+    if (to_resume.empty()) {
+      return;
+    }
+    sim_->Post(0, [handles = std::move(to_resume)] {
+      for (const auto h : handles) {
+        h.resume();
+      }
+    });
   }
 
   Simulator* sim_;

@@ -9,7 +9,6 @@
 
 #include <coroutine>
 #include <cstdint>
-#include <functional>
 
 #include "sim/event_queue.h"
 #include "sim/task.h"
@@ -26,14 +25,16 @@ class Simulator {
 
   TimeNs now() const { return now_; }
 
-  // Schedules `fn` to run `delay` (>= 0) after the current time.
-  void Post(TimeNs delay, std::function<void()> fn) {
+  // Schedules `fn` to run `delay` (>= 0) after the current time. EventFn
+  // stores typical captures inline (sim/event_queue.h), so posting an event
+  // does not allocate.
+  void Post(TimeNs delay, EventFn fn) {
     CHAOS_CHECK_GE(delay, 0);
     queue_.Push(now_ + delay, std::move(fn));
   }
 
   // Schedules `fn` at absolute time `when` (>= now).
-  void PostAt(TimeNs when, std::function<void()> fn) {
+  void PostAt(TimeNs when, EventFn fn) {
     CHAOS_CHECK_GE(when, now_);
     queue_.Push(when, std::move(fn));
   }

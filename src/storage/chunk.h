@@ -33,7 +33,19 @@ enum class SetKind : uint8_t {
   kCheckpointA = 5,  // 2-phase checkpoint, side A
   kCheckpointB = 6,  // 2-phase checkpoint, side B
   kDegrees = 7,      // degree-count updates produced during pre-processing
+  // Commit-time snapshot of the resume superstep's in-flight update set
+  // (gather-phase emissions are not regenerable from the vertex checkpoint
+  // alone — scatter re-runs on resume, the previous gather does not). Side
+  // parity follows kCheckpointA/B. Empty for pure-scatter programs.
+  kUpdatesCkptA = 8,
+  kUpdatesCkptB = 9,
 };
+
+// The update-snapshot side paired with a committed checkpoint side.
+constexpr SetKind UpdatesCkptFor(SetKind checkpoint_side) {
+  return checkpoint_side == SetKind::kCheckpointA ? SetKind::kUpdatesCkptA
+                                                  : SetKind::kUpdatesCkptB;
+}
 
 const char* SetKindName(SetKind kind);
 

@@ -41,6 +41,10 @@ const char* SetKindName(SetKind kind) {
       return "ckptB";
     case SetKind::kDegrees:
       return "degrees";
+    case SetKind::kUpdatesCkptA:
+      return "uckptA";
+    case SetKind::kUpdatesCkptB:
+      return "uckptB";
   }
   return "?";
 }
@@ -176,8 +180,11 @@ Task<> StorageEngine::HandleRead(Message m) {
       resp.chunk = Materialize(req.set, stored);
       store.bytes_served_epoch += stored.model_bytes;
       // Input chunks are consumed exactly once; free the payload early.
-      if (req.set.kind == SetKind::kInput || req.set.kind == SetKind::kUpdatesEven ||
-          req.set.kind == SetKind::kUpdatesOdd) {
+      // Checkpoint snapshot scans preserve it — the superstep's real gather
+      // still has to drain this set.
+      if (!req.preserve_payload &&
+          (req.set.kind == SetKind::kInput || req.set.kind == SetKind::kUpdatesEven ||
+           req.set.kind == SetKind::kUpdatesOdd)) {
         stored.data.reset();
       }
     }

@@ -56,6 +56,10 @@ enum StorageMsgType : uint32_t {
 struct ReadChunkReq {
   SetId set;
   uint64_t epoch = 0;
+  // Keep consume-once payloads (update sets) resident after serving: set by
+  // checkpoint snapshot scans, which read the set a later gather must still
+  // be able to drain.
+  bool preserve_payload = false;
 };
 
 struct ReadChunkResp {

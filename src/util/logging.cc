@@ -12,6 +12,10 @@ namespace {
 
 std::atomic<int> g_min_level{static_cast<int>(LogLevel::kWarning)};
 std::atomic<uint64_t> g_counts[5];
+// Per-thread counts backing the per-scope accounting (ThreadLogCounts):
+// plain integers, no synchronization needed — the owning thread is the only
+// writer and the only reader.
+thread_local uint64_t t_counts[5];
 std::mutex g_log_mutex;
 
 const char* LevelName(LogLevel level) {
@@ -47,10 +51,27 @@ uint64_t LogCountForLevel(LogLevel level) {
   return g_counts[idx].load();
 }
 
+LogCounts GlobalLogCounts() {
+  LogCounts out;
+  for (size_t i = 0; i < out.per_level.size(); ++i) {
+    out.per_level[i] = g_counts[i].load();
+  }
+  return out;
+}
+
+LogCounts ThreadLogCounts() {
+  LogCounts out;
+  for (size_t i = 0; i < out.per_level.size(); ++i) {
+    out.per_level[i] = t_counts[i];
+  }
+  return out;
+}
+
 void LogMessage(LogLevel level, const char* file, int line, const char* fmt, ...) {
   const int idx = static_cast<int>(level);
   if (idx >= 0 && idx < 5) {
     g_counts[idx].fetch_add(1);
+    t_counts[idx] += 1;
   }
   if (idx < g_min_level.load()) {
     return;

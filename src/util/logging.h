@@ -1,11 +1,16 @@
 // Minimal leveled logging with printf-style formatting.
 //
-// Chaos simulations run in a single thread, but logging is guarded by a mutex
-// anyway so that multi-threaded test harnesses can share it safely.
+// Simulations are single-threaded per Simulator instance, but the parallel
+// sweep executor (util/parallel.h) runs many simulations on concurrent host
+// threads, so everything here is thread-safe: emission is guarded by a
+// mutex and the message counters exist in two flavors — process-global
+// atomics and per-thread counters that back per-scope accounting.
 #ifndef CHAOS_UTIL_LOGGING_H_
 #define CHAOS_UTIL_LOGGING_H_
 
+#include <array>
 #include <cstdarg>
+#include <cstdint>
 #include <string>
 
 namespace chaos {
@@ -27,8 +32,54 @@ LogLevel GetLogLevel();
 void LogMessage(LogLevel level, const char* file, int line, const char* fmt, ...)
     __attribute__((format(printf, 4, 5)));
 
-// Number of messages emitted since process start, per level; used by tests.
+// Number of messages logged since process start, per level, across all
+// threads (messages below the emission threshold still count).
 uint64_t LogCountForLevel(LogLevel level);
+
+// A snapshot of per-level message counts.
+struct LogCounts {
+  std::array<uint64_t, 5> per_level{};
+
+  uint64_t at(LogLevel level) const { return per_level[static_cast<size_t>(level)]; }
+  uint64_t warnings() const { return at(LogLevel::kWarning); }
+  uint64_t errors() const { return at(LogLevel::kError); }
+  uint64_t total() const {
+    uint64_t sum = 0;
+    for (const uint64_t c : per_level) {
+      sum += c;
+    }
+    return sum;
+  }
+  LogCounts operator-(const LogCounts& rhs) const {
+    LogCounts out;
+    for (size_t i = 0; i < per_level.size(); ++i) {
+      out.per_level[i] = per_level[i] - rhs.per_level[i];
+    }
+    return out;
+  }
+};
+
+// Process-wide counts since start (sum over all threads).
+LogCounts GlobalLogCounts();
+
+// Counts of messages logged by the *calling thread* since it started. This
+// is the per-scope building block for parallel sweeps: a sweep point runs
+// start-to-finish on one executor thread (util/parallel.h contract), so a
+// delta of ThreadLogCounts() around the point observes exactly that
+// point's messages — concurrent trials cannot inflate each other's counts
+// the way deltas of the process-global counters would.
+LogCounts ThreadLogCounts();
+
+// RAII per-scope counter: snapshot at construction, Delta() = messages this
+// thread logged since then.
+class ScopedLogCounts {
+ public:
+  ScopedLogCounts() : start_(ThreadLogCounts()) {}
+  LogCounts Delta() const { return ThreadLogCounts() - start_; }
+
+ private:
+  LogCounts start_;
+};
 
 #define CHAOS_LOG(level, ...) \
   ::chaos::LogMessage((level), __FILE__, __LINE__, __VA_ARGS__)

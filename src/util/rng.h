@@ -36,6 +36,12 @@ constexpr uint64_t HashCombine(uint64_t a, uint64_t b) {
   return Mix64(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
 }
 
+// Two-input mix: the seed-derivation rule of the parallel sweep subsystem
+// (util/parallel.h), spelled Mix64(base_seed, point_index). DELIBERATELY
+// the same operation as HashCombine — one mixing function, two names for
+// two roles (hashing vs. seed derivation); keep them aliased.
+constexpr uint64_t Mix64(uint64_t a, uint64_t b) { return HashCombine(a, b); }
+
 // xoshiro256** by Blackman & Vigna. Deterministic and fast.
 class Rng {
  public:

@@ -242,6 +242,76 @@ TEST(BenchSmokeTest, MicroEmitsValidJsonWithNonzeroTimings) {
   EXPECT_GT(means[0], 0.0);
 }
 
+// ------------------------------------------------------------------
+// Parallel-sweep determinism: running the same bench with --jobs=1 and
+// --jobs=8 must produce byte-identical output, except for host wall-clock
+// fields. stdout tables carry only simulated values, so they are compared
+// verbatim; the JSON is compared after dropping wall_ms and the jobs count.
+
+std::string ReadWholeFile(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+// Removes lines that legitimately differ between runs: host timings in the
+// JSON, the jobs count itself, and the "wrote <path>" driver line.
+std::string StripVolatileLines(const std::string& text) {
+  std::stringstream in(text);
+  std::string out;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find("wall_ms") != std::string::npos ||
+        line.find("\"jobs\"") != std::string::npos || line.rfind("wrote ", 0) == 0) {
+      continue;
+    }
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+void ExpectJobsInvariant(const std::string& bench, const std::string& extra_flags) {
+  ASSERT_FALSE(g_bench_path.empty()) << "pass the chaos_bench path as argv[1]";
+  const std::string base = ::testing::TempDir() + "/chaos_det_" + bench;
+  struct Run {
+    std::string json;
+    std::string stdout_text;
+  };
+  Run runs[2];
+  const int jobs[2] = {1, 8};
+  for (int i = 0; i < 2; ++i) {
+    const std::string json_path = base + "_j" + std::to_string(jobs[i]) + ".json";
+    const std::string out_path = base + "_j" + std::to_string(jobs[i]) + ".txt";
+    const std::string cmd = ShellQuote(g_bench_path) + " --bench=" + bench +
+                            " --trials=1 --jobs=" + std::to_string(jobs[i]) + " " +
+                            extra_flags + " --out=" + ShellQuote(json_path) + " > " +
+                            ShellQuote(out_path);
+    ASSERT_EQ(std::system(cmd.c_str()), 0) << "bench driver failed: " << cmd;
+    runs[i].json = StripVolatileLines(ReadWholeFile(json_path));
+    runs[i].stdout_text = StripVolatileLines(ReadWholeFile(out_path));
+    ASSERT_FALSE(runs[i].json.empty());
+    ASSERT_FALSE(runs[i].stdout_text.empty());
+  }
+  EXPECT_EQ(runs[0].stdout_text, runs[1].stdout_text)
+      << bench << ": stdout differs between --jobs=1 and --jobs=8";
+  EXPECT_EQ(runs[0].json, runs[1].json)
+      << bench << ": metric JSON differs between --jobs=1 and --jobs=8";
+  // The metric JSON must actually carry simulation metrics, otherwise the
+  // comparison above proves nothing.
+  EXPECT_NE(runs[0].json.find("\"metrics\""), std::string::npos);
+  EXPECT_NE(runs[0].json.find("sim_s"), std::string::npos);
+}
+
+TEST(BenchDeterminismTest, Fig8IdenticalAcrossJobCounts) {
+  ExpectJobsInvariant("fig8", "--scale=9");
+}
+
+TEST(BenchDeterminismTest, FigRecoveryIdenticalAcrossJobCounts) {
+  ExpectJobsInvariant("fig_recovery", "--scale=10");
+}
+
 TEST(BenchSmokeTest, ListIncludesAllRegisteredBenches) {
   ASSERT_FALSE(g_bench_path.empty());
   FILE* pipe = popen((ShellQuote(g_bench_path) + " --list").c_str(), "r");

@@ -288,5 +288,32 @@ TEST(RecoveryTest, TypeErasedRunnerRecovers) {
   }
 }
 
+// MCST streams its result out through the output sink while it runs, and
+// its chase phases emit gather-to-gather updates that scatter cannot
+// regenerate. Recovery must therefore (a) carry the crashed run's committed
+// output stream across the restart and (b) restore the checkpoint's
+// update-set snapshot — either omission loses or duplicates forest edges.
+TEST(MachineCrashTest, McstRecoveryPreservesEmittedForestAndInFlightUpdates) {
+  RmatOptions opt;
+  opt.scale = 8;
+  opt.weighted = true;
+  opt.seed = 31;
+  InputGraph g = PrepareInput("mcst", GenerateRmat(opt));
+  ClusterConfig cfg = BaseConfig(4);
+
+  auto truth = RunChaosAlgorithm("mcst", g, cfg);
+  ASSERT_GT(truth.output_records, 0u);
+
+  cfg.checkpoint_interval = 1;
+  cfg.faults = FaultSchedule::MachineCrash(1, MidRunKillTime(truth.metrics));
+  RecoveryReport report;
+  auto recovered = RunChaosAlgorithmWithRecovery("mcst", g, cfg, AlgoParams{},
+                                                 RecoveryOptions{}, &report);
+  ASSERT_TRUE(report.crash_detected);
+  ASSERT_TRUE(report.recovered_from_checkpoint);
+  EXPECT_EQ(recovered.output_records, truth.output_records);
+  EXPECT_NEAR(recovered.scalar, truth.scalar, 1e-2);
+}
+
 }  // namespace
 }  // namespace chaos

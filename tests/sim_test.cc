@@ -3,6 +3,8 @@
 // FIFO bandwidth resources.
 #include <gtest/gtest.h>
 
+#include <array>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -15,6 +17,40 @@
 
 namespace chaos {
 namespace {
+
+// ------------------------------------------------------------------ EventFn
+
+TEST(EventFnTest, InvokesSmallAndLargeCaptures) {
+  int hits = 0;
+  EventFn small([&hits] { ++hits; });
+  small();
+  EXPECT_EQ(hits, 1);
+  // A capture larger than the inline buffer takes the heap fallback and
+  // must behave identically.
+  std::array<uint64_t, 16> big{};
+  big[15] = 7;
+  uint64_t seen = 0;
+  EventFn large([big, &seen] { seen = big[15]; });
+  large();
+  EXPECT_EQ(seen, 7u);
+}
+
+TEST(EventFnTest, MoveTransfersOwnership) {
+  auto counter = std::make_shared<int>(0);
+  EventFn a([counter] { ++*counter; });
+  EXPECT_EQ(counter.use_count(), 2);
+  EventFn b(std::move(a));
+  EXPECT_FALSE(static_cast<bool>(a));
+  EXPECT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(*counter, 1);
+  EventFn c;
+  c = std::move(b);
+  c();
+  EXPECT_EQ(*counter, 2);
+  c = EventFn{};  // destroying the stored callable releases the capture
+  EXPECT_EQ(counter.use_count(), 1);
+}
 
 // ---------------------------------------------------------------- EventQueue
 

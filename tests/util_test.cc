@@ -1,15 +1,18 @@
 // Unit tests for src/util: rng, stats, options, logging, formatting.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <cstring>
 #include <map>
 #include <set>
+#include <thread>
 #include <vector>
 
 #include "util/common.h"
 #include "util/logging.h"
 #include "util/options.h"
+#include "util/parallel.h"
 #include "util/rng.h"
 #include "util/stats.h"
 
@@ -323,6 +326,111 @@ TEST(LoggingTest, LevelFiltering) {
   CHAOS_LOG_INFO("suppressed message %d", 1);
   EXPECT_EQ(LogCountForLevel(LogLevel::kInfo), before + 1);  // counted even when suppressed
   SetLogLevel(old);
+}
+
+TEST(LoggingTest, ScopedCountsObserveOnlyThisThread) {
+  const LogLevel old = GetLogLevel();
+  SetLogLevel(LogLevel::kOff);
+  ScopedLogCounts scope;
+  CHAOS_LOG_WARN("mine %d", 1);
+  // A concurrent thread logging must not inflate this scope's counts — the
+  // cross-pollution the per-thread counters exist to prevent.
+  std::thread other([] {
+    for (int i = 0; i < 5; ++i) {
+      CHAOS_LOG_WARN("other %d", i);
+      CHAOS_LOG_ERROR("other err %d", i);
+    }
+  });
+  other.join();
+  CHAOS_LOG_WARN("mine %d", 2);
+  const LogCounts delta = scope.Delta();
+  EXPECT_EQ(delta.warnings(), 2u);
+  EXPECT_EQ(delta.errors(), 0u);
+  // The process-global counters do see everything.
+  EXPECT_GE(GlobalLogCounts().warnings(), 7u);
+  SetLogLevel(old);
+}
+
+TEST(LoggingTest, ScopedCountsNestAndSubtract) {
+  const LogLevel old = GetLogLevel();
+  SetLogLevel(LogLevel::kOff);
+  ScopedLogCounts outer;
+  CHAOS_LOG_ERROR("one");
+  {
+    ScopedLogCounts inner;
+    CHAOS_LOG_ERROR("two");
+    EXPECT_EQ(inner.Delta().errors(), 1u);
+  }
+  EXPECT_EQ(outer.Delta().errors(), 2u);
+  SetLogLevel(old);
+}
+
+// ---------------------------------------------------------------- parallel
+
+TEST(SweepExecutorTest, RunsEveryIndexExactlyOnce) {
+  SweepExecutor executor(4);
+  EXPECT_EQ(executor.jobs(), 4);
+  constexpr size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  executor.ParallelFor(kN, [&](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(SweepExecutorTest, ResultsIndexedInDeclarationOrder) {
+  // Results must land at their point's index regardless of schedule, and be
+  // identical across job counts (the determinism contract).
+  auto run = [](int jobs) {
+    SweepExecutor executor(jobs);
+    std::vector<std::function<uint64_t()>> points;
+    for (uint64_t i = 0; i < 64; ++i) {
+      points.push_back([i] { return Mix64(42, i); });
+    }
+    return executor.RunPoints(points);
+  };
+  const auto sequential = run(1);
+  const auto parallel = run(8);
+  ASSERT_EQ(sequential.size(), 64u);
+  EXPECT_EQ(sequential, parallel);
+  EXPECT_EQ(sequential[7], DeriveSeed(42, 7));
+}
+
+TEST(SweepExecutorTest, ReusableAcrossSweeps) {
+  SweepExecutor executor(3);
+  for (int round = 0; round < 5; ++round) {
+    std::atomic<size_t> sum{0};
+    executor.ParallelFor(100, [&](size_t i) { sum.fetch_add(i); });
+    EXPECT_EQ(sum.load(), 4950u) << "round " << round;
+  }
+  executor.ParallelFor(0, [](size_t) { FAIL() << "no points, no calls"; });
+}
+
+TEST(SweepExecutorTest, NestedSweepFromAPointRunsInline) {
+  // A point that sweeps through the same executor must not deadlock on the
+  // sweep mutex its own batch holds — nested calls run inline.
+  SweepExecutor executor(4);
+  std::atomic<int> total{0};
+  executor.ParallelFor(8, [&](size_t) {
+    executor.ParallelFor(8, [&](size_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 64);
+}
+
+TEST(SweepExecutorTest, SingleJobRunsInline) {
+  SweepExecutor executor(1);
+  const auto caller = std::this_thread::get_id();
+  executor.ParallelFor(16, [&](size_t) { EXPECT_EQ(std::this_thread::get_id(), caller); });
+}
+
+TEST(SweepExecutorTest, DeriveSeedIsStableAndSpreads) {
+  // The documented derivation rule: DeriveSeed == two-argument Mix64.
+  EXPECT_EQ(DeriveSeed(1, 2), Mix64(1, 2));
+  std::set<uint64_t> seeds;
+  for (uint64_t i = 0; i < 1000; ++i) {
+    seeds.insert(DeriveSeed(12345, i));
+  }
+  EXPECT_EQ(seeds.size(), 1000u);  // no collisions on a small grid
 }
 
 TEST(CheckTest, PassingChecksDoNotAbort) {
