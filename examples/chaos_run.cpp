@@ -47,6 +47,9 @@ void RegisterFlags(Options& opt) {
   opt.AddInt("scale", 14, "generator scale (2^scale vertices)");
   opt.AddInt("machines", 8, "simulated machines");
   opt.AddInt("partitions-per-machine", 4, "streaming partitions per machine");
+  opt.AddInt("mem-mb", 0,
+             "enforced per-machine memory budget in MiB (buffer-pool cap; over-budget "
+             "buffers spill to the machine's storage device; 0 = auto headroom)");
   opt.AddInt("chunk-kb", 256, "storage chunk size in KiB (the steal granularity)");
   opt.AddBool("hdd", false, "use the HDD profile instead of SSD");
   opt.AddBool("slow-net", false, "use 1GigE instead of 40GigE");
@@ -156,6 +159,12 @@ RunOutcome RunOnce(const Options& opt, bool quiet) {
   cfg.memory_budget_bytes = std::max<uint64_t>(
       prepared.num_vertices * 48 / (ppm * static_cast<uint64_t>(cfg.machines)) + 1, 4 << 10);
   cfg.chunk_bytes = static_cast<uint64_t>(opt.GetInt("chunk-kb")) << 10;
+  if (opt.GetInt("mem-mb") > 0) {
+    // Squeeze the enforced buffer-pool budget without touching the
+    // partitioning: the record streams stay identical, pressure shows up
+    // as spill I/O and stall time (see docs/REPRODUCTION.md, fig_memory).
+    cfg.pool_budget_bytes = static_cast<uint64_t>(opt.GetInt("mem-mb")) << 20;
+  }
   cfg.storage = opt.GetBool("hdd") ? StorageConfig::Hdd() : StorageConfig::Ssd();
   cfg.net = opt.GetBool("slow-net") ? NetworkConfig::OneGigE() : NetworkConfig::FortyGigE();
   cfg.alpha = opt.GetDouble("alpha");

@@ -1,0 +1,152 @@
+// The barrier and 2-phase-checkpoint FSMs of the engine core (paper §5.2,
+// §6.6). Untemplated: aggregator state crosses the wire as kernel-
+// serialized blobs (protocol.h), and the coordinator folds them through
+// the type-erased ProgramKernel.
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/engine_core.h"
+
+namespace chaos {
+
+Task<std::pair<bool, bool>> EngineCore::Barrier(bool advance) {
+  BucketTimer t(ctx_.sim, metrics_, Bucket::kBarrier);
+  Message req;
+  req.src = ctx_.machine;
+  req.dst = 0;
+  req.service = kComputeService;
+  req.type = kBarrierArrive;
+  req.wire_bytes = kControlMsgBytes + kernel_->global_wire_bytes();
+  BarrierArriveMsg body;
+  body.phase_id = next_phase_id_++;
+  body.local = kernel_->TakeLocalBlob();  // snapshots and resets the delta
+  body.vertices_changed = changed_;
+  body.advance = advance;
+  body.failed = Dead();  // barrier doubles as the failure detector (§6.6)
+  body.superstep = superstep_;
+  req.body = std::move(body);
+  changed_ = 0;
+  Message resp = co_await ctx_.bus->Call(std::move(req));
+  const auto& release = std::any_cast<const BarrierReleaseMsg&>(resp.body);
+  kernel_->SetGlobal(release.global);
+  if (release.crash) {
+    // The coordinator stops serving barriers after a crash release; every
+    // caller must unwind to Main without arriving at another barrier.
+    aborted_ = true;
+  }
+  co_return std::make_pair(release.done, release.crash);
+}
+
+Task<> EngineCore::BarrierService() {
+  SimQueue<Message>& inbox = ctx_.bus->Inbox(0, kComputeService);
+  std::vector<uint8_t> canonical = kernel_->GlobalBlob();
+  const int m = ctx_.machines();
+  while (true) {
+    std::vector<Message> arrivals;
+    arrivals.reserve(static_cast<size_t>(m));
+    for (int i = 0; i < m; ++i) {
+      Message msg = co_await inbox.Pop();
+      CHAOS_CHECK_EQ(msg.type, static_cast<uint32_t>(kBarrierArrive));
+      arrivals.push_back(std::move(msg));
+    }
+    const auto& first = std::any_cast<const BarrierArriveMsg&>(arrivals.front().body);
+    const bool advance = first.advance;
+    const uint64_t superstep = first.superstep;
+    bool done = false;
+    // Failure detection (§6.6): any flagged arrival — at any barrier —
+    // aborts the run cluster-wide. Recovery is a fresh cluster resuming
+    // from the last committed checkpoint (core/recovery.h).
+    bool crash = false;
+    for (const Message& msg : arrivals) {
+      crash = crash || std::any_cast<const BarrierArriveMsg&>(msg.body).failed;
+    }
+    if (advance) {
+      std::vector<uint8_t> folded = canonical;
+      uint64_t changed = 0;
+      for (const Message& msg : arrivals) {
+        const auto& body = std::any_cast<const BarrierArriveMsg&>(msg.body);
+        CHAOS_CHECK_EQ(body.phase_id, first.phase_id);
+        CHAOS_CHECK_EQ(body.superstep, superstep);
+        kernel_->ReduceGlobal(folded.data(), body.local.data());
+        changed += body.vertices_changed;
+      }
+      done = kernel_->Advance(folded.data(), superstep, changed);
+      canonical = std::move(folded);
+      crash = crash || (ctx_.config->crash_after_superstep >= 0 &&
+                        static_cast<uint64_t>(ctx_.config->crash_after_superstep) == superstep);
+      if (!crash) {
+        superstep_end_times_.push_back(ctx_.sim->now());
+      }
+    }
+    for (const Message& msg : arrivals) {
+      BarrierReleaseMsg release;
+      release.global = canonical;
+      release.done = done;
+      release.crash = crash;
+      ctx_.bus->PostReply(msg, kBarrierRelease, kControlMsgBytes + kernel_->global_wire_bytes(),
+                          std::move(release));
+    }
+    if (crash || (advance && done)) {
+      co_return;
+    }
+  }
+}
+
+// ----------------------------------------------------------- checkpoint
+
+Task<> EngineCore::CommitCheckpoint() {
+  co_await Barrier(/*advance=*/false);  // phase 1: all writes acked cluster-wide
+  if (aborted_) {
+    co_return;  // failure before the commit point: this checkpoint never was
+  }
+  // Snapshot the in-flight update set of the resume superstep into the
+  // incoming snapshot side. Updates emitted by the just-finished gather
+  // (targeting superstep_ + 1) cannot be regenerated from the vertex
+  // checkpoint — resume re-runs that superstep's *scatter*, not the
+  // previous gather — so they are part of the recoverable state. For
+  // pure-scatter programs (WantScatter always true) this set is empty and
+  // the snapshot costs only the scan handshakes.
+  const SetKind new_usnap =
+      checkpoint_counter_ % 2 == 0 ? SetKind::kUpdatesCkptA : SetKind::kUpdatesCkptB;
+  {
+    BucketTimer t(ctx_.sim, metrics_, Bucket::kCheckpoint);
+    ChunkWriter writer(&ctx_, &rng_, ctx_.config->fetch_window());
+    for (const PartitionId p : own_partitions_) {
+      ChunkFetcher fetcher(&ctx_, &rng_, UpdatesSet(p, superstep_ + 1), CheckpointScanEpoch(),
+                           ctx_.config->fetch_window(), LocalMasterTarget(parts_->Master(p)),
+                           /*preserve_payload=*/true);
+      fetcher.Start();
+      while (true) {
+        auto chunk = co_await fetcher.Next();
+        if (!chunk.has_value()) {
+          break;
+        }
+        co_await writer.Write(SetId{p, new_usnap}, std::move(*chunk), ctx_.machine);
+      }
+    }
+    co_await writer.Drain();
+  }
+  co_await Barrier(/*advance=*/false);  // update snapshots durable cluster-wide
+  if (aborted_) {
+    co_return;  // failure before the commit point: prior checkpoint intact
+  }
+  kernel_->CommitCheckpointGlobal();
+  checkpointed_superstep_ = superstep_ + 1;
+  has_checkpoint_ = true;
+  const SetKind old_side =
+      checkpoint_counter_ % 2 == 0 ? SetKind::kCheckpointB : SetKind::kCheckpointA;
+  const SetKind old_usnap =
+      checkpoint_counter_ % 2 == 0 ? SetKind::kUpdatesCkptB : SetKind::kUpdatesCkptA;
+  ++checkpoint_counter_;  // commit point passed: the new side is current
+  {
+    BucketTimer t(ctx_.sim, metrics_, Bucket::kCheckpoint);
+    for (const PartitionId p : own_partitions_) {
+      co_await DeleteSetEverywhere(&ctx_, SetId{p, old_side});
+      co_await DeleteSetEverywhere(&ctx_, SetId{p, old_usnap});
+    }
+  }
+  co_await Barrier(/*advance=*/false);  // phase 2: commit visible everywhere
+}
+
+}  // namespace chaos

@@ -125,7 +125,15 @@ Task<> ChunkFetcher::Worker() {
     if (r.ok) {
       ++chunks_fetched_;
       bytes_fetched_ += r.chunk.model_bytes;
-      ready_.push_back(std::move(r.chunk));
+      // The buffered chunk occupies this machine's memory until the
+      // consumer takes it; under budget pressure the admission spills
+      // colder buffers (a simulated device write) before completing.
+      Buffered b;
+      b.chunk = std::move(r.chunk);
+      if (ctx_->pool != nullptr) {
+        b.lease = co_await ctx_->pool->Acquire(b.chunk.model_bytes);
+      }
+      ready_.push_back(std::move(b));
     } else {
       ++credits_;  // nothing buffered: return the credit
       if (!engine_empty_[static_cast<size_t>(target)]) {
@@ -176,7 +184,12 @@ Task<> ChunkFetcher::DirectoryWorker() {
     CHAOS_CHECK_MSG(r.ok, "directory pointed at a missing chunk in " + SetIdName(set_));
     ++chunks_fetched_;
     bytes_fetched_ += r.chunk.model_bytes;
-    ready_.push_back(std::move(r.chunk));
+    Buffered b;
+    b.chunk = std::move(r.chunk);
+    if (ctx_->pool != nullptr) {
+      b.lease = co_await ctx_->pool->Acquire(b.chunk.model_bytes);
+    }
+    ready_.push_back(std::move(b));
     cond_.NotifyAll();
   }
   if (--workers_active_ == 0) {
@@ -198,11 +211,14 @@ Task<std::optional<Chunk>> ChunkFetcher::Next() {
   CHAOS_CHECK(started_);
   while (true) {
     if (!ready_.empty()) {
-      Chunk c = std::move(ready_.front());
+      Buffered b = std::move(ready_.front());
       ready_.pop_front();
       ++credits_;  // consumed: let a worker issue the next request
       cond_.NotifyAll();
-      co_return c;
+      // The lease is dropped on handoff: the consumer scans the chunk and
+      // frees it within one loop iteration (sub-chunk transients are part
+      // of the pool's streaming headroom).
+      co_return std::move(b.chunk);
     }
     if (workers_active_ == 0) {
       co_return std::nullopt;
@@ -216,6 +232,12 @@ ChunkWriter::ChunkWriter(EngineContext* ctx, Rng* rng, int window)
 
 Task<> ChunkWriter::WriteToEngine(SetId set, Chunk chunk, MachineId target) {
   const uint64_t bytes = chunk.model_bytes;
+  // The in-flight payload occupies this machine's memory until the write
+  // is acknowledged.
+  BufferPool::Lease lease;
+  if (ctx_->pool != nullptr) {
+    lease = co_await ctx_->pool->Acquire(bytes);
+  }
   WriteChunkReq body{set, std::move(chunk)};
   Message req = StorageRequest(ctx_->machine, target, kWriteChunkReq, bytes + kControlMsgBytes,
                                std::move(body));

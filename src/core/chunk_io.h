@@ -8,6 +8,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/buffer_pool.h"
 #include "core/config.h"
 #include "net/network.h"
 #include "sim/sync.h"
@@ -37,6 +38,10 @@ struct EngineContext {
   DirectoryServer* directory = nullptr;  // non-null in kCentralDirectory mode
   const ClusterConfig* config = nullptr;
   const FaultInjector* faults = nullptr;  // non-null when a schedule is set
+  // This machine's buffer pool (core/buffer_pool.h): every sizable buffer
+  // the engine and its I/O pipelines hold acquires pages here. May be null
+  // (tests assembling a bare context), in which case memory is untracked.
+  BufferPool* pool = nullptr;
   MachineId machine = 0;
 
   int machines() const { return config->machines; }
@@ -99,8 +104,14 @@ class ChunkFetcher {
   bool preserve_payload_;
   MachineId forced_target_;
 
+  // A fetched-but-unconsumed chunk and the pool lease backing its bytes.
+  struct Buffered {
+    Chunk chunk;
+    BufferPool::Lease lease;
+  };
+
   CondEvent cond_;
-  std::deque<Chunk> ready_;
+  std::deque<Buffered> ready_;
   int credits_;  // window minus (in-flight requests + unconsumed chunks)
   std::vector<uint8_t> engine_empty_;
   std::vector<int> in_flight_per_engine_;

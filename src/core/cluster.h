@@ -9,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/buffer_pool.h"
 #include "core/compute_engine.h"
 #include "graph/types.h"
 
@@ -46,6 +47,14 @@ class Cluster {
       storage_.push_back(
           std::make_unique<StorageEngine>(&sim_, bus_.get(), m, config_.storage_for(m)));
       net_->SetNicBandwidth(m, config_.nic_bandwidth_for(m));
+      // Memory is a first-class simulated resource: each machine's buffer
+      // pool enforces the configured budget, spilling to (and stalling on)
+      // that machine's own storage device.
+      const StorageConfig& scfg = config_.storage_for(m);
+      pools_.push_back(std::make_unique<BufferPool>(
+          &sim_, &storage_.back()->device(), scfg.bandwidth_bps, scfg.access_latency,
+          config_.EffectivePoolBudget()));
+      storage_.back()->set_pool(pools_.back().get());
     }
     if (config_.placement == Placement::kCentralDirectory) {
       directory_ = std::make_unique<DirectoryServer>(&sim_, bus_.get(), /*home=*/0,
@@ -364,6 +373,7 @@ class Cluster {
       ctx.directory = directory_.get();
       ctx.config = &config_;
       ctx.faults = injector_.get();
+      ctx.pool = pools_[static_cast<size_t>(m)].get();
       ctx.machine = m;
       engines_.push_back(std::make_unique<ComputeEngine<P>>(
           std::move(ctx), &prog_, meta, parts_.get(),
@@ -405,6 +415,9 @@ class Cluster {
       d.busy = s->device().total_busy();
       d.chunks_served = s->chunks_served();
       result.metrics.devices.push_back(d);
+    }
+    for (const auto& pool : pools_) {
+      result.metrics.pools.push_back(pool->metrics());
     }
     result.metrics.network_bytes = net_->total_bytes();
     result.metrics.incast_events = net_->incast_events();
@@ -492,6 +505,7 @@ class Cluster {
   std::unique_ptr<Network> net_;
   std::unique_ptr<MessageBus> bus_;
   std::vector<std::unique_ptr<StorageEngine>> storage_;
+  std::vector<std::unique_ptr<BufferPool>> pools_;
   std::unique_ptr<DirectoryServer> directory_;
   std::unique_ptr<FaultInjector> injector_;
   std::unique_ptr<Partitioning> parts_;

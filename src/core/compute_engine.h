@@ -1,5 +1,15 @@
-// The Chaos computation engine (paper §5): one per machine, executing the
-// GAS loop over streaming partitions with randomized work stealing.
+// ComputeEngine<Program>: the thin typed composition layer over the layered
+// engine core (paper §5). One per machine.
+//
+// All control flow — the per-superstep scatter/gather loop, randomized work
+// stealing, barriers, the 2-phase checkpoint FSM, pre-processing, buffer
+// management — lives untemplated in EngineCore (engine_core.h) and its
+// phase drivers (scatter_phase.h, gather_phase.h, barrier_fsm.cc), compiled
+// once for all programs. This template only binds a GAS program to that
+// core through a GasKernel<P> adapter (gas_kernel.h), which keeps the
+// per-edge/per-update/per-vertex loops fully typed and inlined, and
+// re-exposes the typed results (global state, outputs) the cluster driver
+// and recovery flow need.
 //
 // Per superstep:
 //   scatter phase:  own partitions, then steal (Fig. 4, lines 23-33)
@@ -15,120 +25,14 @@
 #ifndef CHAOS_CORE_COMPUTE_ENGINE_H_
 #define CHAOS_CORE_COMPUTE_ENGINE_H_
 
-#include <algorithm>
-#include <cmath>
-#include <deque>
-#include <optional>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
-#include "core/chunk_io.h"
-#include "core/config.h"
+#include "core/engine_core.h"
 #include "core/gas.h"
-#include "core/metrics.h"
-#include "core/partition.h"
-#include "core/protocol.h"
-#include "sim/sync.h"
-#include "storage/storage_engine.h"
-#include "util/rng.h"
+#include "core/gas_kernel.h"
 
 namespace chaos {
-
-// Scoped simulated-time accounting into a metrics bucket. Safe across
-// co_await: locals live in the coroutine frame.
-class BucketTimer {
- public:
-  BucketTimer(Simulator* sim, MachineMetrics* metrics, Bucket bucket)
-      : sim_(sim), metrics_(metrics), bucket_(bucket), start_(sim->now()) {}
-  ~BucketTimer() { Stop(); }
-  BucketTimer(const BucketTimer&) = delete;
-  BucketTimer& operator=(const BucketTimer&) = delete;
-
-  void Stop() {
-    if (!stopped_) {
-      stopped_ = true;
-      metrics_->Add(bucket_, sim_->now() - start_);
-    }
-  }
-
- private:
-  Simulator* sim_;
-  MachineMetrics* metrics_;
-  Bucket bucket_;
-  TimeNs start_;
-  bool stopped_ = false;
-};
-
-// Bins emitted records by destination partition into chunk-sized buffers.
-// Add() is synchronous (called from the per-edge loop); full buffers are
-// parked and flushed by the owning coroutine between chunks.
-template <typename RecT>
-class RecordBinner {
- public:
-  RecordBinner(const Partitioning* parts, uint64_t record_wire_bytes, uint64_t chunk_bytes)
-      : parts_(parts),
-        record_wire_(record_wire_bytes),
-        records_per_chunk_(RecordsPerChunk(chunk_bytes, record_wire_bytes)),
-        buffers_(parts->num_partitions()) {}
-
-  // Chunk capacity in records. Floored at one record per chunk so records
-  // wider than the chunk still make progress; zero-width records (empty
-  // payloads) never fill a chunk by byte count, so they are binned as if
-  // one byte wide instead of dividing by zero.
-  static uint64_t RecordsPerChunk(uint64_t chunk_bytes, uint64_t record_wire_bytes) {
-    const uint64_t wire = record_wire_bytes < 1 ? 1 : record_wire_bytes;
-    const uint64_t per = chunk_bytes / wire;
-    return per < 1 ? 1 : per;
-  }
-
-  void Add(PartitionId p, const RecT& record) {
-    auto& buffer = buffers_[p];
-    buffer.push_back(record);
-    ++emitted_;
-    if (buffer.size() >= records_per_chunk_) {
-      pending_.emplace_back(p, std::move(buffer));
-      buffer.clear();
-    }
-  }
-
-  bool HasPending() const { return !pending_.empty(); }
-
-  Task<> FlushPending(ChunkWriter* writer, SetKind kind) {
-    while (!pending_.empty()) {
-      auto [p, records] = std::move(pending_.front());
-      pending_.pop_front();
-      const uint64_t wire = records.size() * record_wire_;
-      // NOTE: named locals (not braced temporaries) around coroutine calls;
-      // g++ 12 miscompiles braced aggregate temporaries passed directly as
-      // coroutine arguments (see docs in sim/task.h).
-      const SetId target{p, kind};
-      Chunk chunk = MakeChunk<RecT>(next_index_++, wire, std::move(records));
-      co_await writer->Write(target, std::move(chunk), parts_->Master(p));
-    }
-  }
-
-  Task<> FlushAll(ChunkWriter* writer, SetKind kind) {
-    for (PartitionId p = 0; p < buffers_.size(); ++p) {
-      if (!buffers_[p].empty()) {
-        pending_.emplace_back(p, std::move(buffers_[p]));
-        buffers_[p].clear();
-      }
-    }
-    co_await FlushPending(writer, kind);
-  }
-
-  uint64_t emitted() const { return emitted_; }
-
- private:
-  const Partitioning* parts_;
-  uint64_t record_wire_;
-  uint64_t records_per_chunk_;
-  std::vector<std::vector<RecT>> buffers_;
-  std::deque<std::pair<PartitionId, std::vector<RecT>>> pending_;
-  uint32_t next_index_ = 0;
-  uint64_t emitted_ = 0;
-};
 
 template <GasProgram P>
 class ComputeEngine {
@@ -138,891 +42,43 @@ class ComputeEngine {
   using A = typename P::Accumulator;
   using G = typename P::GlobalState;
   using Out = typename P::OutputRecord;
-  using Rec = UpdateRecord<U>;
 
   ComputeEngine(EngineContext ctx, const P* prog, GraphMeta meta, const Partitioning* parts,
                 MachineMetrics* metrics, const G& initial_global)
-      : ctx_(std::move(ctx)),
-        prog_(prog),
-        meta_(meta),
-        parts_(parts),
-        metrics_(metrics),
-        rng_(HashCombine(ctx_.config->seed, static_cast<uint64_t>(ctx_.machine) + 0xce)),
-        global_(initial_global),
-        local_(prog->InitLocal()),
-        stolen_ready_(ctx_.sim),
-        stolen_taken_(ctx_.sim),
-        update_wire_(UpdateWireBytes<U>(meta.vertex_id_wire_bytes)) {
-    for (PartitionId p = 0; p < parts_->num_partitions(); ++p) {
-      if (parts_->Master(p) == ctx_.machine) {
-        own_partitions_.push_back(p);
-      }
-    }
-  }
+      : kernel_(prog, parts, meta.vertex_id_wire_bytes, initial_global),
+        core_(std::move(ctx), &kernel_, meta, parts, metrics) {}
 
   // Spawns the main loop, the control server, and (machine 0) the barrier
   // coordinator.
-  void Start() {
-    if (ctx_.machine == 0) {
-      ctx_.sim->Spawn(BarrierService());
-    }
-    ctx_.sim->Spawn(ControlServer());
-    ctx_.sim->Spawn(Main());
-  }
+  void Start() { core_.Start(); }
 
-  bool finished() const { return finished_; }
-  bool crashed() const { return crashed_; }
-  uint64_t supersteps_run() const { return superstep_; }
-  const G& final_global() const { return global_; }
-  const std::vector<Out>& outputs() const { return outputs_; }
+  bool finished() const { return core_.finished(); }
+  bool crashed() const { return core_.crashed(); }
+  uint64_t supersteps_run() const { return core_.supersteps_run(); }
+  const G& final_global() const { return kernel_.global(); }
+  const std::vector<Out>& outputs() const { return kernel_.outputs(); }
   // Prefix of outputs() emitted by supersteps that completed their gather
-  // barrier before absolute superstep `superstep`. Recovery uses this to
-  // carry a crashed run's already-committed output stream (e.g. MSF edges)
-  // across the restart: the aborted superstep's partial emissions fall
-  // after the last mark and are excluded.
+  // barrier before absolute superstep `superstep` (recovery carries a
+  // crashed run's committed output stream across the restart).
   size_t NumOutputsBefore(uint64_t superstep) const {
-    if (superstep <= start_superstep_) {
-      return 0;
-    }
-    const uint64_t completed = superstep - start_superstep_;
-    if (output_marks_.empty()) {
-      return 0;
-    }
-    return output_marks_[std::min<size_t>(completed, output_marks_.size()) - 1];
+    return core_.NumOutputsBefore(superstep);
   }
-  TimeNs preprocess_end_time() const { return preprocess_end_time_; }
+  TimeNs preprocess_end_time() const { return core_.preprocess_end_time(); }
   // Coordinator-side (machine 0): sim time at the end of each completed
-  // superstep, indexed from the first superstep this run executed. Recovery
-  // reads this to measure the time to re-reach the point of failure.
-  const std::vector<TimeNs>& superstep_end_times() const { return superstep_end_times_; }
+  // superstep, indexed from the first superstep this run executed.
+  const std::vector<TimeNs>& superstep_end_times() const {
+    return core_.superstep_end_times();
+  }
   // Global state and superstep captured at the last committed checkpoint.
-  const G& checkpointed_global() const { return checkpointed_global_; }
-  uint64_t checkpointed_superstep() const { return checkpointed_superstep_; }
-  bool has_checkpoint() const { return has_checkpoint_; }
-
- private:
-  // True once a MachineCrash fault has killed this machine. The engine
-  // polls this at loop boundaries: streams are abandoned, new stealing
-  // stops, and the next barrier arrival is flagged `failed`, which makes
-  // the coordinator abort the run cluster-wide. Protocol handshakes that
-  // peers are already blocked on (accumulator pulls, parked replicas)
-  // still complete so the simulation drains — the *work* dies, the wires
-  // stay up just long enough to tear down.
-  bool Dead() const {
-    return ctx_.faults != nullptr && ctx_.faults->dead(ctx_.machine);
-  }
-
-  // ----- epochs: every distinct sequential scan gets a unique epoch id.
-  uint64_t ScatterEpoch() const { return 3 + 2 * superstep_; }
-  uint64_t GatherEpoch() const { return 4 + 2 * superstep_; }
-  // Commit-time update-snapshot scans use a disjoint range so they never
-  // collide with a phase scan of the same set.
-  uint64_t CheckpointScanEpoch() const { return (1ull << 40) + superstep_; }
-  static constexpr uint64_t kInputEpoch = 1;
-  static constexpr uint64_t kDegreesEpoch = 2;
-
-  uint64_t VertsPerChunk() const {
-    const uint64_t per = ctx_.config->chunk_bytes / sizeof(VState);
-    return per < 1 ? 1 : per;
-  }
-
-  SetId EdgesSet(PartitionId p) const { return SetId{p, SetKind::kEdges}; }
-  SetId UpdatesSet(PartitionId p, uint64_t superstep) const {
-    return SetId{p, UpdatesFor(superstep)};
-  }
-
-  // ------------------------------------------------------------- main loop
-
-  Task<> Main() {
-    if (!ctx_.config->resume) {
-      co_await Preprocess();
-    } else {
-      superstep_ = ctx_.config->resume_superstep;
-      start_superstep_ = ctx_.config->resume_superstep;
-    }
-    if (!aborted_) {
-      co_await Barrier(/*advance=*/false);
-    }
-    // Recorded on the healthy path only: a zero preprocess time is how a
-    // crash-during-preprocessing run is recognized (no superstep entered).
-    if (ctx_.machine == 0 && !aborted_) {
-      preprocess_end_time_ = ctx_.sim->now();
-    }
-    while (!aborted_) {
-      CHAOS_CHECK_MSG(superstep_ - start_superstep_ < ctx_.config->max_supersteps,
-                      "superstep limit exceeded; algorithm not converging?");
-      if (prog_->WantScatter(global_)) {
-        co_await ScatterPhase();
-        co_await Barrier(/*advance=*/false);
-        if (aborted_) {
-          break;
-        }
-      }
-      co_await GatherPhase();
-      const auto [done, crash] = co_await Barrier(/*advance=*/true);
-      if (crash) {
-        break;
-      }
-      // Superstep completed cluster-wide: everything in outputs_ so far is
-      // part of the committed output stream (see NumOutputsBefore).
-      output_marks_.push_back(outputs_.size());
-      // The final superstep's checkpoint copy is written during its gather
-      // but not committed (the computation is complete; recovery would use
-      // the final vertex sets themselves). The uncommitted side is left
-      // behind, as in any in-flight 2-phase protocol.
-      const bool checkpoint_due = ctx_.config->checkpoint_interval > 0 && !done &&
-                                  (superstep_ + 1) % ctx_.config->checkpoint_interval == 0;
-      if (checkpoint_due) {
-        co_await CommitCheckpoint();
-        if (aborted_) {
-          break;
-        }
-      }
-      ++superstep_;
-      if (done) {
-        break;
-      }
-    }
-    crashed_ = aborted_;
-    // Stop this machine's control server.
-    Message stop;
-    stop.src = ctx_.machine;
-    stop.dst = ctx_.machine;
-    stop.service = kControlService;
-    stop.type = kControlShutdown;
-    stop.wire_bytes = kControlMsgBytes;
-    ctx_.bus->PostSend(std::move(stop));
-    finished_ = true;
-  }
-
-  // --------------------------------------------------------- preprocessing
-
-  // Streaming partition creation (§3): drain the shared input-chunk pool,
-  // bin edges by partition of their source, count out-degrees (combiner),
-  // then initialize and store the vertex sets of owned partitions.
-  Task<> Preprocess() {
-    BucketTimer t(ctx_.sim, metrics_, Bucket::kPreprocess);
-    const auto& cost = ctx_.cost();
-    {
-      RecordBinner<Edge> edge_binner(parts_, meta_.edge_wire_bytes, ctx_.config->chunk_bytes);
-      ChunkWriter writer(&ctx_, &rng_, ctx_.config->fetch_window());
-      std::unordered_map<VertexId, uint32_t> degree_counts;
-      ChunkFetcher fetcher(&ctx_, &rng_, SetId{0, SetKind::kInput}, kInputEpoch,
-                           ctx_.config->fetch_window(),
-                           ctx_.config->placement == Placement::kLocalMaster ? ctx_.machine
-                                                                             : kNoMachine);
-      fetcher.Start();
-      while (true) {
-        if (Dead()) {
-          co_await fetcher.Cancel();
-          break;
-        }
-        std::optional<Chunk> chunk = co_await fetcher.Next();
-        if (!chunk.has_value()) {
-          break;
-        }
-        auto edges = ChunkSpan<Edge>(*chunk);
-        co_await ctx_.sim->Delay(ctx_.CpuTime(edges.size(), cost.ns_per_edge_scatter) +
-                                 ctx_.MessageTime());
-        for (const Edge& e : edges) {
-          edge_binner.Add(parts_->PartitionOf(e.src), e);
-          if (P::kNeedsOutDegrees && e.flags == kEdgeForward) {
-            degree_counts[e.src]++;
-          }
-        }
-        ++metrics_->chunks_fetched;
-        co_await edge_binner.FlushPending(&writer, SetKind::kEdges);
-      }
-      co_await edge_binner.FlushAll(&writer, SetKind::kEdges);
-      if (P::kNeedsOutDegrees) {
-        RecordBinner<UpdateRecord<uint32_t>> degree_binner(
-            parts_, meta_.vertex_id_wire_bytes + 4, ctx_.config->chunk_bytes);
-        for (const auto& [vertex, count] : degree_counts) {
-          const UpdateRecord<uint32_t> record{vertex, count};
-          degree_binner.Add(parts_->PartitionOf(vertex), record);
-        }
-        co_await degree_binner.FlushAll(&writer, SetKind::kDegrees);
-      }
-      co_await writer.Drain();
-    }
-    co_await Barrier(/*advance=*/false);
-    if (aborted_) {
-      co_return;  // a machine died during pre-processing: no state to init
-    }
-
-    // Vertex-set initialization for owned partitions.
-    ChunkWriter writer(&ctx_, &rng_, ctx_.config->fetch_window());
-    for (const PartitionId p : own_partitions_) {
-      const uint64_t count = parts_->Count(p);
-      const VertexId base = parts_->Base(p);
-      std::vector<uint32_t> degrees;
-      if (P::kNeedsOutDegrees) {
-        degrees.assign(count, 0);
-        ChunkFetcher fetcher(&ctx_, &rng_, SetId{p, SetKind::kDegrees}, kDegreesEpoch,
-                             ctx_.config->fetch_window(),
-                             ctx_.config->placement == Placement::kLocalMaster ? parts_->Master(p)
-                                                                               : kNoMachine);
-        fetcher.Start();
-        while (true) {
-          std::optional<Chunk> chunk = co_await fetcher.Next();
-          if (!chunk.has_value()) {
-            break;
-          }
-          for (const auto& rec : ChunkSpan<UpdateRecord<uint32_t>>(*chunk)) {
-            CHAOS_DCHECK(parts_->PartitionOf(rec.dst) == p);
-            degrees[rec.dst - base] += rec.value;
-          }
-        }
-        const SetId degrees_set{p, SetKind::kDegrees};
-        co_await DeleteSetEverywhere(&ctx_, degrees_set);
-      }
-      co_await WriteVertexSetFromInit(p, degrees, &writer);
-    }
-    co_await writer.Drain();
-  }
-
-  Task<> WriteVertexSetFromInit(PartitionId p, const std::vector<uint32_t>& degrees,
-                                ChunkWriter* writer) {
-    const uint64_t count = parts_->Count(p);
-    const VertexId base = parts_->Base(p);
-    const uint64_t per_chunk = VertsPerChunk();
-    co_await ctx_.sim->Delay(ctx_.CpuTime(count, ctx_.cost().ns_per_vertex_apply));
-    for (uint64_t start = 0, idx = 0; start < count; start += per_chunk, ++idx) {
-      const uint64_t n = std::min(per_chunk, count - start);
-      std::vector<VState> states;
-      states.reserve(n);
-      for (uint64_t i = 0; i < n; ++i) {
-        const VertexId v = base + start + i;
-        states.push_back(prog_->InitVertex(global_, v,
-                                           degrees.empty() ? 0 : degrees[start + i]));
-      }
-      co_await WriteVertexChunk(p, static_cast<uint32_t>(idx), SetKind::kVertices,
-                                std::move(states), writer);
-    }
-  }
-
-  // --------------------------------------------------- vertex set load/store
-
-  Task<> LoadVertexSet(PartitionId p, std::vector<VState>* out) {
-    const uint64_t count = parts_->Count(p);
-    out->assign(count, VState{});
-    const uint64_t per_chunk = VertsPerChunk();
-    const auto nchunks = static_cast<uint32_t>((count + per_chunk - 1) / per_chunk);
-    Semaphore window(ctx_.sim, ctx_.config->fetch_window());
-    TaskGroup group(ctx_.sim);
-    for (uint32_t idx = 0; idx < nchunks; ++idx) {
-      co_await window.Acquire();
-      group.Spawn(LoadVertexChunk(p, idx, out, &window));
-    }
-    co_await group.Join();
-  }
-
-  Task<> LoadVertexChunk(PartitionId p, uint32_t idx, std::vector<VState>* out,
-                         Semaphore* window) {
-    const MachineId home = VertexChunkHome(p, idx, ctx_.machines());
-    Message req;
-    req.src = ctx_.machine;
-    req.dst = home;
-    req.service = kStorageService;
-    req.type = kReadIndexedReq;
-    req.wire_bytes = kControlMsgBytes;
-    req.body = ReadIndexedReq{SetId{p, SetKind::kVertices}, idx, false, 0};
-    Message resp = co_await ctx_.bus->Call(std::move(req));
-    const auto& r = std::any_cast<const ReadChunkResp&>(resp.body);
-    CHAOS_CHECK_MSG(r.ok, "missing vertex chunk " + std::to_string(idx) + " of partition " +
-                              std::to_string(p));
-    auto states = ChunkSpan<VState>(r.chunk);
-    const uint64_t start = static_cast<uint64_t>(idx) * VertsPerChunk();
-    CHAOS_CHECK_LE(start + states.size(), out->size());
-    std::copy(states.begin(), states.end(), out->begin() + static_cast<int64_t>(start));
-    window->Release();
-  }
-
-  Task<> WriteVertexChunk(PartitionId p, uint32_t idx, SetKind kind, std::vector<VState> states,
-                          ChunkWriter* writer) {
-    const uint64_t wire = states.size() * sizeof(VState);
-    Chunk chunk = MakeChunk<VState>(idx, wire, std::move(states));
-    // Vertex (and checkpoint) chunks live at hashed homes (§6.4); the writer
-    // window still bounds outstanding requests.
-    const MachineId home = VertexChunkHome(p, idx, ctx_.machines());
-    const SetId target{p, kind};
-    co_await writer->Write(target, std::move(chunk), home);
-  }
-
-  Task<> WriteVertexSet(PartitionId p, const std::vector<VState>& states, SetKind kind,
-                        ChunkWriter* writer) {
-    const uint64_t per_chunk = VertsPerChunk();
-    for (uint64_t start = 0, idx = 0; start < states.size(); start += per_chunk, ++idx) {
-      const uint64_t n = std::min(per_chunk, states.size() - start);
-      std::vector<VState> copy(states.begin() + static_cast<int64_t>(start),
-                               states.begin() + static_cast<int64_t>(start + n));
-      co_await WriteVertexChunk(p, static_cast<uint32_t>(idx), kind, std::move(copy), writer);
-    }
-  }
-
-  // ------------------------------------------------------------ scatter
-
-  Task<> ScatterPhase() {
-    phase_ = EnginePhase::kScatter;
-    ResetOwnStatuses();
-    RecordBinner<Rec> binner(parts_, update_wire_, ctx_.config->chunk_bytes);
-    ChunkWriter writer(&ctx_, &rng_, ctx_.config->fetch_window());
-    for (const PartitionId p : own_partitions_) {
-      co_await ProcessPartitionScatter(p, /*stolen=*/false, &binner, &writer);
-    }
-    if (ctx_.config->stealing_enabled() && !Dead()) {
-      co_await StealLoop(EnginePhase::kScatter, &binner, &writer);
-    }
-    if (!Dead()) {
-      // A dead machine's buffered emissions are lost with it; the aborted
-      // superstep is re-run from the checkpoint anyway.
-      co_await binner.FlushAll(&writer, UpdatesFor(superstep_));
-    }
-    co_await writer.Drain();
-    metrics_->updates_emitted += binner.emitted();
-    phase_ = EnginePhase::kGather;  // proposals for scatter now rejected
-  }
-
-  Task<> ProcessPartitionScatter(PartitionId p, bool stolen, RecordBinner<Rec>* binner,
-                                 ChunkWriter* writer) {
-    const bool mine = parts_->Master(p) == ctx_.machine;
-    if (mine) {
-      OnMasterStartsPartition(p);
-    }
-    std::vector<VState> vstate;
-    {
-      BucketTimer load_t(ctx_.sim, metrics_, stolen ? Bucket::kCopy : Bucket::kGpMaster);
-      co_await LoadVertexSet(p, &vstate);
-    }
-    BucketTimer t(ctx_.sim, metrics_, stolen ? Bucket::kGpSteal : Bucket::kGpMaster);
-    const VertexId base = parts_->Base(p);
-    const auto& cost = ctx_.cost();
-    const SetKind target_kind = UpdatesFor(superstep_);
-    auto emit = [&](VertexId dst, const U& value) {
-      binner->Add(parts_->PartitionOf(dst), Rec{dst, value});
-    };
-    ChunkFetcher fetcher(&ctx_, &rng_, EdgesSet(p), ScatterEpoch(), ctx_.config->fetch_window(),
-                         ctx_.config->placement == Placement::kLocalMaster ? parts_->Master(p)
-                                                                           : kNoMachine);
-    fetcher.Start();
-    while (true) {
-      if (Dead()) {
-        co_await fetcher.Cancel();
-        break;
-      }
-      std::optional<Chunk> chunk = co_await fetcher.Next();
-      if (!chunk.has_value()) {
-        break;
-      }
-      auto edges = ChunkSpan<Edge>(*chunk);
-      co_await ctx_.sim->Delay(ctx_.CpuTime(edges.size(), cost.ns_per_edge_scatter) +
-                               ctx_.MessageTime());
-      for (const Edge& e : edges) {
-        CHAOS_DCHECK(parts_->PartitionOf(e.src) == p);
-        prog_->Scatter(global_, e.src, vstate[e.src - base], e, emit);
-      }
-      metrics_->edges_processed += edges.size();
-      ++metrics_->chunks_fetched;
-      co_await binner->FlushPending(writer, target_kind);
-    }
-    if (mine) {
-      OnMasterFinishesPartition(p);
-    }
-  }
-
-  // ------------------------------------------------------------- gather
-
-  Task<> GatherPhase() {
-    phase_ = EnginePhase::kGather;
-    ResetOwnStatuses();
-    // Emissions produced during gather/apply feed the *next* superstep.
-    RecordBinner<Rec> binner(parts_, update_wire_, ctx_.config->chunk_bytes);
-    ChunkWriter writer(&ctx_, &rng_, ctx_.config->fetch_window());
-    // A dead master still visits every owned partition: registered gather
-    // stealers are parked on the accumulator handshake and must be released
-    // even though the superstep is doomed (streams themselves abort early).
-    for (const PartitionId p : own_partitions_) {
-      co_await ProcessPartitionGatherMaster(p, &binner, &writer);
-    }
-    if (ctx_.config->stealing_enabled() && !Dead()) {
-      co_await StealLoop(EnginePhase::kGather, &binner, &writer);
-    }
-    if (!Dead()) {
-      co_await binner.FlushAll(&writer, UpdatesFor(superstep_ + 1));
-    }
-    co_await writer.Drain();
-    metrics_->updates_emitted += binner.emitted();
-    phase_ = EnginePhase::kScatter;
-  }
-
-  // Shared streaming part of gather; returns gathered accumulators.
-  Task<std::pair<std::vector<VState>, std::vector<A>>> GatherStream(
-      PartitionId p, bool stolen, RecordBinner<Rec>* binner, ChunkWriter* writer) {
-    std::vector<VState> vstate;
-    {
-      BucketTimer load_t(ctx_.sim, metrics_, stolen ? Bucket::kCopy : Bucket::kGpMaster);
-      co_await LoadVertexSet(p, &vstate);
-    }
-    BucketTimer t(ctx_.sim, metrics_, stolen ? Bucket::kGpSteal : Bucket::kGpMaster);
-    std::vector<A> accums(parts_->Count(p), prog_->InitAccum());
-    const VertexId base = parts_->Base(p);
-    const auto& cost = ctx_.cost();
-    const SetKind emit_kind = UpdatesFor(superstep_ + 1);
-    auto emit = [&](VertexId dst, const U& value) {
-      binner->Add(parts_->PartitionOf(dst), Rec{dst, value});
-    };
-    ChunkFetcher fetcher(&ctx_, &rng_, UpdatesSet(p, superstep_), GatherEpoch(),
-                         ctx_.config->fetch_window(),
-                         ctx_.config->placement == Placement::kLocalMaster ? parts_->Master(p)
-                                                                           : kNoMachine);
-    fetcher.Start();
-    while (true) {
-      if (Dead()) {
-        co_await fetcher.Cancel();
-        break;
-      }
-      std::optional<Chunk> chunk = co_await fetcher.Next();
-      if (!chunk.has_value()) {
-        break;
-      }
-      auto records = ChunkSpan<Rec>(*chunk);
-      co_await ctx_.sim->Delay(ctx_.CpuTime(records.size(), cost.ns_per_update_gather) +
-                               ctx_.MessageTime());
-      for (const Rec& r : records) {
-        CHAOS_DCHECK(parts_->PartitionOf(r.dst) == p);
-        prog_->Gather(global_, r.dst, vstate[r.dst - base], accums[r.dst - base], r.value, emit);
-      }
-      metrics_->updates_processed += records.size();
-      ++metrics_->chunks_fetched;
-      co_await binner->FlushPending(writer, emit_kind);
-    }
-    co_return std::make_pair(std::move(vstate), std::move(accums));
-  }
-
-  Task<> ProcessPartitionGatherMaster(PartitionId p, RecordBinner<Rec>* binner,
-                                      ChunkWriter* writer) {
-    OnMasterStartsPartition(p);
-    auto [vstate, accums] = co_await GatherStream(p, /*stolen=*/false, binner, writer);
-    // Close: no new stealers; the registered set is now final (§5.3).
-    PartStatus& st = own_status_[p];
-    st.s = PartStatus::S::kClosed;
-    const auto& cost = ctx_.cost();
-
-    // Pull and merge the replica accumulators of every stealer.
-    for (const MachineId stealer : st.gather_stealers) {
-      Message req;
-      req.src = ctx_.machine;
-      req.dst = stealer;
-      req.service = kControlService;
-      req.type = kAccumPullReq;
-      req.wire_bytes = kControlMsgBytes;
-      req.body = AccumPullReq{p, superstep_};
-      Message resp;
-      {
-        BucketTimer wait_t(ctx_.sim, metrics_, Bucket::kMergeWait);
-        resp = co_await ctx_.bus->Call(std::move(req));
-      }
-      const auto& pull = std::any_cast<const AccumPullResp&>(resp.body);
-      auto theirs = ChunkSpan<A>(pull.accums);
-      CHAOS_CHECK_EQ(theirs.size(), accums.size());
-      BucketTimer merge_t(ctx_.sim, metrics_, Bucket::kMerge);
-      co_await ctx_.sim->Delay(ctx_.CpuTime(theirs.size(), cost.ns_per_vertex_merge));
-      for (size_t i = 0; i < accums.size(); ++i) {
-        prog_->MergeAccum(accums[i], theirs[i]);
-      }
-    }
-
-    // Apply (folded into the gather phase, §4) and write the new vertex set.
-    {
-      BucketTimer t(ctx_.sim, metrics_, Bucket::kGpMaster);
-      const VertexId base = parts_->Base(p);
-      const SetKind emit_kind = UpdatesFor(superstep_ + 1);
-      auto emit = [&](VertexId dst, const U& value) {
-        binner->Add(parts_->PartitionOf(dst), Rec{dst, value});
-      };
-      auto sink = [&](const Out& out) { outputs_.push_back(out); };
-      co_await ctx_.sim->Delay(ctx_.CpuTime(vstate.size(), cost.ns_per_vertex_apply));
-      for (size_t i = 0; i < vstate.size(); ++i) {
-        if (prog_->Apply(global_, base + i, vstate[i], accums[i], local_, emit, sink)) {
-          ++changed_;
-        }
-      }
-      co_await binner->FlushPending(writer, emit_kind);
-      co_await WriteVertexSet(p, vstate, SetKind::kVertices, writer);
-    }
-
-    // Checkpoint copy, written while the state is hot (2-phase step 1, §6.6).
-    // A dead machine writes none — its superstep will never commit.
-    const bool checkpoint_due =
-        ctx_.config->checkpoint_interval > 0 && !Dead() &&
-        (superstep_ + 1) % ctx_.config->checkpoint_interval == 0;
-    if (checkpoint_due) {
-      BucketTimer t(ctx_.sim, metrics_, Bucket::kCheckpoint);
-      co_await WriteVertexSet(p, vstate, CheckpointSide(), writer);
-    }
-
-    // Updates of this iteration are deleted after apply (Fig. 4 line 45).
-    co_await DeleteSetEverywhere(&ctx_, UpdatesSet(p, superstep_));
-  }
-
-  Task<> ProcessPartitionGatherStolen(PartitionId p, RecordBinner<Rec>* binner,
-                                      ChunkWriter* writer) {
-    auto [vstate, accums] = co_await GatherStream(p, /*stolen=*/true, binner, writer);
-    (void)vstate;
-    // Park the replica accumulators for the master's pull (Fig. 4 line 52).
-    const uint64_t wire = accums.size() * sizeof(A);
-    stolen_accums_[p] = MakeChunk<A>(0, wire, std::move(accums));
-    stolen_ready_.NotifyAll();
-    BucketTimer wait_t(ctx_.sim, metrics_, Bucket::kMergeWait);
-    while (stolen_accums_.count(p) != 0) {
-      co_await stolen_taken_.Wait();
-    }
-  }
-
-  // ------------------------------------------------------------- stealing
-
-  void ResetOwnStatuses() {
-    own_status_.clear();
-    for (const PartitionId p : own_partitions_) {
-      own_status_.emplace(p, PartStatus{});
-    }
-  }
-
-  void OnMasterStartsPartition(PartitionId p) {
-    PartStatus& st = own_status_[p];
-    st.s = PartStatus::S::kActive;
-    ++st.workers;
-  }
-
-  void OnMasterFinishesPartition(PartitionId p) {
-    PartStatus& st = own_status_[p];
-    st.s = PartStatus::S::kClosed;
-    --st.workers;
-  }
-
-  // The steal decision (§5.4): accept iff V + D/(H+1) < alpha * D/H, with D
-  // estimated as (local remaining bytes) * machines.
-  bool StealDecision(PartitionId p, EnginePhase phase) {
-    auto it = own_status_.find(p);
-    CHAOS_CHECK(it != own_status_.end());
-    PartStatus& st = it->second;
-    if (st.s == PartStatus::S::kClosed) {
-      return false;
-    }
-    const SetId set =
-        phase == EnginePhase::kScatter ? EdgesSet(p) : UpdatesSet(p, superstep_);
-    const uint64_t epoch = phase == EnginePhase::kScatter ? ScatterEpoch() : GatherEpoch();
-    const double d_local =
-        static_cast<double>(ctx_.local_storage()->RemainingBytes(set, epoch));
-    const double d = d_local * ctx_.machines();
-    if (d <= 0.0) {
-      return false;
-    }
-    const double v =
-        static_cast<double>(parts_->Count(p)) * static_cast<double>(sizeof(VState));
-    const int h = st.workers > 0 ? st.workers : 1;
-    const double alpha = ctx_.config->alpha;
-    const bool accept =
-        std::isinf(alpha) || (v + d / (h + 1) < alpha * d / h);
-    return accept;
-  }
-
-  Task<> StealLoop(EnginePhase phase, RecordBinner<Rec>* binner, ChunkWriter* writer) {
-    while (!Dead()) {
-      bool any_accept = false;
-      std::vector<uint32_t> order = rng_.Permutation(parts_->num_partitions());
-      for (const PartitionId p : order) {
-        if (Dead()) {
-          break;
-        }
-        if (parts_->Master(p) == ctx_.machine) {
-          continue;
-        }
-        ++metrics_->steal_proposals_sent;
-        Message req;
-        req.src = ctx_.machine;
-        req.dst = parts_->Master(p);
-        req.service = kControlService;
-        req.type = kHelpProposalReq;
-        req.wire_bytes = kControlMsgBytes;
-        req.body = HelpProposalReq{p, phase, superstep_};
-        Message resp = co_await ctx_.bus->Call(std::move(req));
-        if (!std::any_cast<const HelpProposalResp&>(resp.body).accept) {
-          continue;
-        }
-        any_accept = true;
-        ++metrics_->steals_worked;
-        if (phase == EnginePhase::kScatter) {
-          co_await ProcessPartitionScatter(p, /*stolen=*/true, binner, writer);
-        } else {
-          co_await ProcessPartitionGatherStolen(p, binner, writer);
-        }
-      }
-      if (!any_accept) {
-        break;
-      }
-    }
-  }
-
-  // ------------------------------------------------------- control server
-
-  Task<> ControlServer() {
-    SimQueue<Message>& inbox = ctx_.bus->Inbox(ctx_.machine, kControlService);
-    while (true) {
-      Message m = co_await inbox.Pop();
-      switch (m.type) {
-        case kHelpProposalReq: {
-          const auto& req = std::any_cast<const HelpProposalReq&>(m.body);
-          ++metrics_->proposals_received;
-          bool accept = false;
-          // A dead master accepts no new helpers (its superstep is doomed);
-          // already-admitted stealers are drained by the handshake.
-          if (ctx_.config->stealing_enabled() && !Dead() && req.superstep == superstep_ &&
-              req.phase == phase_ && own_status_.count(req.partition) != 0) {
-            accept = StealDecision(req.partition, req.phase);
-            if (accept) {
-              PartStatus& st = own_status_[req.partition];
-              ++st.workers;
-              if (st.s == PartStatus::S::kPending) {
-                st.s = PartStatus::S::kActive;
-              }
-              if (req.phase == EnginePhase::kGather) {
-                st.gather_stealers.push_back(m.src);
-              }
-              ++metrics_->proposals_accepted;
-            }
-          }
-          ctx_.bus->PostReply(m, kHelpProposalResp, kControlMsgBytes, HelpProposalResp{accept});
-          break;
-        }
-        case kAccumPullReq:
-          ctx_.sim->Spawn(HandleAccumPull(std::move(m)));
-          break;
-        case kControlShutdown:
-          co_return;
-        default:
-          CHAOS_CHECK_MSG(false, "unknown control message type " + std::to_string(m.type));
-      }
-    }
-  }
-
-  Task<> HandleAccumPull(Message m) {
-    const auto& req = std::any_cast<const AccumPullReq&>(m.body);
-    while (stolen_accums_.count(req.partition) == 0) {
-      co_await stolen_ready_.Wait();
-    }
-    auto node = stolen_accums_.extract(req.partition);
-    Chunk accums = std::move(node.mapped());
-    const uint64_t wire = accums.model_bytes + kControlMsgBytes;
-    AccumPullResp resp{std::move(accums), 0};
-    ctx_.bus->PostReply(m, kAccumPullResp, wire, std::move(resp));
-    stolen_taken_.NotifyAll();
-  }
-
-  // ------------------------------------------------------------- barriers
-
-  Task<std::pair<bool, bool>> Barrier(bool advance) {
-    BucketTimer t(ctx_.sim, metrics_, Bucket::kBarrier);
-    Message req;
-    req.src = ctx_.machine;
-    req.dst = 0;
-    req.service = kComputeService;
-    req.type = kBarrierArrive;
-    req.wire_bytes = kControlMsgBytes + sizeof(G);
-    BarrierArrive<G> body;
-    body.phase_id = next_phase_id_++;
-    body.local = local_;
-    body.vertices_changed = changed_;
-    body.advance = advance;
-    body.failed = Dead();  // barrier doubles as the failure detector (§6.6)
-    body.superstep = superstep_;
-    req.body = body;
-    Message resp = co_await ctx_.bus->Call(std::move(req));
-    const auto& release = std::any_cast<const BarrierRelease<G>&>(resp.body);
-    global_ = release.global;
-    local_ = prog_->InitLocal();
-    changed_ = 0;
-    if (release.crash) {
-      // The coordinator stops serving barriers after a crash release; every
-      // caller must unwind to Main without arriving at another barrier.
-      aborted_ = true;
-    }
-    co_return std::make_pair(release.done, release.crash);
-  }
-
-  // Coordinator: collects all machines' arrivals, folds aggregators, runs
-  // Advance at gather barriers, and releases everyone with the new global.
-  Task<> BarrierService() {
-    SimQueue<Message>& inbox = ctx_.bus->Inbox(0, kComputeService);
-    G canonical = global_;
-    const int m = ctx_.machines();
-    while (true) {
-      std::vector<Message> arrivals;
-      arrivals.reserve(static_cast<size_t>(m));
-      for (int i = 0; i < m; ++i) {
-        Message msg = co_await inbox.Pop();
-        CHAOS_CHECK_EQ(msg.type, static_cast<uint32_t>(kBarrierArrive));
-        arrivals.push_back(std::move(msg));
-      }
-      const auto& first = std::any_cast<const BarrierArrive<G>&>(arrivals.front().body);
-      const bool advance = first.advance;
-      const uint64_t superstep = first.superstep;
-      bool done = false;
-      // Failure detection (§6.6): any flagged arrival — at any barrier —
-      // aborts the run cluster-wide. Recovery is a fresh cluster resuming
-      // from the last committed checkpoint (core/recovery.h).
-      bool crash = false;
-      for (const Message& msg : arrivals) {
-        crash = crash || std::any_cast<const BarrierArrive<G>&>(msg.body).failed;
-      }
-      if (advance) {
-        G folded = canonical;
-        uint64_t changed = 0;
-        for (const Message& msg : arrivals) {
-          const auto& body = std::any_cast<const BarrierArrive<G>&>(msg.body);
-          CHAOS_CHECK_EQ(body.phase_id, first.phase_id);
-          CHAOS_CHECK_EQ(body.superstep, superstep);
-          prog_->ReduceGlobal(folded, body.local);
-          changed += body.vertices_changed;
-        }
-        done = prog_->Advance(folded, superstep, changed);
-        canonical = folded;
-        crash = crash || (ctx_.config->crash_after_superstep >= 0 &&
-                          static_cast<uint64_t>(ctx_.config->crash_after_superstep) == superstep);
-        if (!crash) {
-          superstep_end_times_.push_back(ctx_.sim->now());
-        }
-      }
-      for (const Message& msg : arrivals) {
-        BarrierRelease<G> release;
-        release.global = canonical;
-        release.done = done;
-        release.crash = crash;
-        ctx_.bus->PostReply(msg, kBarrierRelease, kControlMsgBytes + sizeof(G), release);
-      }
-      if (crash || (advance && done)) {
-        co_return;
-      }
-    }
-  }
-
-  // ----------------------------------------------------------- checkpoint
-
-  SetKind CheckpointSide() const {
-    return checkpoint_counter_ % 2 == 0 ? SetKind::kCheckpointA : SetKind::kCheckpointB;
-  }
-
-  // 2-phase commit: all checkpoint data is durable (written during gather)
-  // before the commit barrier; the previous side is deleted only afterwards.
-  // The phase-1 barrier is the commit point — a machine failure detected at
-  // or after it leaves the new side committed and recoverable, while one
-  // detected before it leaves the previous checkpoint in force.
-  Task<> CommitCheckpoint() {
-    co_await Barrier(/*advance=*/false);  // phase 1: all writes acked cluster-wide
-    if (aborted_) {
-      co_return;  // failure before the commit point: this checkpoint never was
-    }
-    // Snapshot the in-flight update set of the resume superstep into the
-    // incoming snapshot side. Updates emitted by the just-finished gather
-    // (targeting superstep_ + 1) cannot be regenerated from the vertex
-    // checkpoint — resume re-runs that superstep's *scatter*, not the
-    // previous gather — so they are part of the recoverable state. For
-    // pure-scatter programs (WantScatter always true) this set is empty and
-    // the snapshot costs only the scan handshakes.
-    const SetKind new_usnap = checkpoint_counter_ % 2 == 0 ? SetKind::kUpdatesCkptA
-                                                           : SetKind::kUpdatesCkptB;
-    {
-      BucketTimer t(ctx_.sim, metrics_, Bucket::kCheckpoint);
-      ChunkWriter writer(&ctx_, &rng_, ctx_.config->fetch_window());
-      for (const PartitionId p : own_partitions_) {
-        ChunkFetcher fetcher(&ctx_, &rng_, UpdatesSet(p, superstep_ + 1),
-                             CheckpointScanEpoch(), ctx_.config->fetch_window(),
-                             ctx_.config->placement == Placement::kLocalMaster
-                                 ? parts_->Master(p)
-                                 : kNoMachine,
-                             /*preserve_payload=*/true);
-        fetcher.Start();
-        while (true) {
-          auto chunk = co_await fetcher.Next();
-          if (!chunk.has_value()) {
-            break;
-          }
-          co_await writer.Write(SetId{p, new_usnap}, std::move(*chunk), ctx_.machine);
-        }
-      }
-      co_await writer.Drain();
-    }
-    co_await Barrier(/*advance=*/false);  // update snapshots durable cluster-wide
-    if (aborted_) {
-      co_return;  // failure before the commit point: prior checkpoint intact
-    }
-    checkpointed_global_ = global_;
-    checkpointed_superstep_ = superstep_ + 1;
-    has_checkpoint_ = true;
-    const SetKind old_side =
-        checkpoint_counter_ % 2 == 0 ? SetKind::kCheckpointB : SetKind::kCheckpointA;
-    const SetKind old_usnap = checkpoint_counter_ % 2 == 0 ? SetKind::kUpdatesCkptB
-                                                           : SetKind::kUpdatesCkptA;
-    ++checkpoint_counter_;  // commit point passed: the new side is current
-    {
-      BucketTimer t(ctx_.sim, metrics_, Bucket::kCheckpoint);
-      for (const PartitionId p : own_partitions_) {
-        co_await DeleteSetEverywhere(&ctx_, SetId{p, old_side});
-        co_await DeleteSetEverywhere(&ctx_, SetId{p, old_usnap});
-      }
-    }
-    co_await Barrier(/*advance=*/false);  // phase 2: commit visible everywhere
-  }
-
- public:
+  const G& checkpointed_global() const { return kernel_.checkpointed_global(); }
+  uint64_t checkpointed_superstep() const { return core_.checkpointed_superstep(); }
+  bool has_checkpoint() const { return core_.has_checkpoint(); }
   // Latest committed checkpoint side (for recovery imports).
-  SetKind committed_checkpoint_side() const {
-    CHAOS_CHECK(has_checkpoint_);
-    return checkpoint_counter_ % 2 == 1 ? SetKind::kCheckpointA : SetKind::kCheckpointB;
-  }
+  SetKind committed_checkpoint_side() const { return core_.committed_checkpoint_side(); }
 
  private:
-  struct PartStatus {
-    enum class S { kPending, kActive, kClosed };
-    S s = S::kPending;
-    int workers = 0;
-    std::vector<MachineId> gather_stealers;
-  };
-
-  EngineContext ctx_;
-  const P* prog_;
-  GraphMeta meta_;
-  const Partitioning* parts_;
-  MachineMetrics* metrics_;
-  Rng rng_;
-
-  G global_;
-  G local_;
-  uint64_t changed_ = 0;
-  uint64_t superstep_ = 0;
-  uint64_t start_superstep_ = 0;
-  uint64_t next_phase_id_ = 0;
-  EnginePhase phase_ = EnginePhase::kScatter;
-
-  std::vector<PartitionId> own_partitions_;
-  std::unordered_map<PartitionId, PartStatus> own_status_;
-
-  std::unordered_map<PartitionId, Chunk> stolen_accums_;
-  CondEvent stolen_ready_;
-  CondEvent stolen_taken_;
-
-  std::vector<Out> outputs_;
-  std::vector<size_t> output_marks_;  // outputs_.size() after each completed superstep
-  uint64_t update_wire_;
-  uint64_t checkpoint_counter_ = 0;
-  G checkpointed_global_{};
-  uint64_t checkpointed_superstep_ = 0;
-  bool has_checkpoint_ = false;
-  TimeNs preprocess_end_time_ = 0;
-  std::vector<TimeNs> superstep_end_times_;  // machine 0 only (coordinator)
-  bool finished_ = false;
-  bool crashed_ = false;
-  bool aborted_ = false;  // a barrier released with crash: unwind, no more arrivals
+  GasKernel<P> kernel_;
+  EngineCore core_;
 };
 
 }  // namespace chaos

@@ -57,8 +57,23 @@ struct ClusterConfig {
   int machines = 4;
 
   // Memory available per machine for one partition's vertex state plus
-  // accumulators; determines the number of streaming partitions (§3).
+  // accumulators; determines the number of streaming partitions (§3) and —
+  // through EffectivePoolBudget() — the enforced per-machine buffer-pool
+  // budget (core/buffer_pool.h) every sizable buffer acquires pages from.
   uint64_t memory_budget_bytes = 8ull << 20;
+
+  // Buffer-pool enforcement. With `memory_enforced` (the default), each
+  // machine's live buffers are capped at EffectivePoolBudget() bytes;
+  // overflow spills to the machine's storage device (simulated I/O + FIFO
+  // stall). `pool_budget_bytes` overrides the enforced budget without
+  // touching the partitioning — the knob behind chaos_run --mem-mb and the
+  // bench_fig_memory degradation sweep, where the partition layout (and
+  // therefore the record streams) must stay fixed while RAM shrinks.
+  // 0 = auto: twice the partition working set (vertex state + accumulators,
+  // doubled for a stolen partition's replica) plus streaming-window
+  // headroom (fetch + write + storage staging + sub-chunk binner fill).
+  bool memory_enforced = true;
+  uint64_t pool_budget_bytes = 0;
 
   // Chunk size. The paper uses 4 MB; scaled-down runs use smaller chunks so
   // that partition chunk counts (the work-stealing granularity) match the
@@ -123,6 +138,18 @@ struct ClusterConfig {
   int fetch_window() const {
     const int w = static_cast<int>(std::floor(phi * batch_k));
     return w < 1 ? 1 : w;
+  }
+
+  // The enforced per-machine buffer-pool budget; 0 = enforcement off.
+  uint64_t EffectivePoolBudget() const {
+    if (!memory_enforced) {
+      return 0;
+    }
+    if (pool_budget_bytes > 0) {
+      return pool_budget_bytes;
+    }
+    return 2 * memory_budget_bytes +
+           4ull * static_cast<uint64_t>(fetch_window()) * chunk_bytes;
   }
   bool stealing_enabled() const { return alpha > 0.0; }
 

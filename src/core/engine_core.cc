@@ -1,0 +1,422 @@
+#include "core/engine_core.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <unordered_map>
+
+#include "core/gas.h"  // UpdateRecord<uint32_t>: the fixed degree-count record
+#include "core/gather_phase.h"
+#include "core/scatter_phase.h"
+
+namespace chaos {
+
+EngineCore::EngineCore(EngineContext ctx, ProgramKernel* kernel, GraphMeta meta,
+                       const Partitioning* parts, MachineMetrics* metrics)
+    : ctx_(std::move(ctx)),
+      kernel_(kernel),
+      meta_(meta),
+      parts_(parts),
+      metrics_(metrics),
+      rng_(HashCombine(ctx_.config->seed, static_cast<uint64_t>(ctx_.machine) + 0xce)),
+      stolen_ready_(ctx_.sim),
+      stolen_taken_(ctx_.sim) {
+  for (PartitionId p = 0; p < parts_->num_partitions(); ++p) {
+    if (parts_->Master(p) == ctx_.machine) {
+      own_partitions_.push_back(p);
+    }
+  }
+}
+
+void EngineCore::Start() {
+  if (ctx_.machine == 0) {
+    ctx_.sim->Spawn(BarrierService());
+  }
+  ctx_.sim->Spawn(ControlServer());
+  ctx_.sim->Spawn(Main());
+}
+
+size_t EngineCore::NumOutputsBefore(uint64_t superstep) const {
+  if (superstep <= start_superstep_) {
+    return 0;
+  }
+  const uint64_t completed = superstep - start_superstep_;
+  if (output_marks_.empty()) {
+    return 0;
+  }
+  return output_marks_[std::min<size_t>(completed, output_marks_.size()) - 1];
+}
+
+// ------------------------------------------------------------- main loop
+
+Task<> EngineCore::Main() {
+  if (!ctx_.config->resume) {
+    co_await Preprocess();
+  } else {
+    superstep_ = ctx_.config->resume_superstep;
+    start_superstep_ = ctx_.config->resume_superstep;
+  }
+  if (!aborted_) {
+    co_await Barrier(/*advance=*/false);
+  }
+  // Recorded on the healthy path only: a zero preprocess time is how a
+  // crash-during-preprocessing run is recognized (no superstep entered).
+  if (ctx_.machine == 0 && !aborted_) {
+    preprocess_end_time_ = ctx_.sim->now();
+  }
+  while (!aborted_) {
+    CHAOS_CHECK_MSG(superstep_ - start_superstep_ < ctx_.config->max_supersteps,
+                    "superstep limit exceeded; algorithm not converging?");
+    if (kernel_->WantScatter()) {
+      {
+        ScatterPhase scatter(this);
+        co_await scatter.Run();
+      }
+      co_await Barrier(/*advance=*/false);
+      if (aborted_) {
+        break;
+      }
+    }
+    {
+      GatherPhase gather(this);
+      co_await gather.Run();
+    }
+    const auto [done, crash] = co_await Barrier(/*advance=*/true);
+    if (crash) {
+      break;
+    }
+    // Superstep completed cluster-wide: everything the kernel has output so
+    // far is part of the committed output stream (see NumOutputsBefore).
+    output_marks_.push_back(kernel_->num_outputs());
+    // The final superstep's checkpoint copy is written during its gather
+    // but not committed (the computation is complete; recovery would use
+    // the final vertex sets themselves). The uncommitted side is left
+    // behind, as in any in-flight 2-phase protocol.
+    const bool checkpoint_due = ctx_.config->checkpoint_interval > 0 && !done &&
+                                (superstep_ + 1) % ctx_.config->checkpoint_interval == 0;
+    if (checkpoint_due) {
+      co_await CommitCheckpoint();
+      if (aborted_) {
+        break;
+      }
+    }
+    ++superstep_;
+    if (done) {
+      break;
+    }
+  }
+  crashed_ = aborted_;
+  // Stop this machine's control server.
+  Message stop;
+  stop.src = ctx_.machine;
+  stop.dst = ctx_.machine;
+  stop.service = kControlService;
+  stop.type = kControlShutdown;
+  stop.wire_bytes = kControlMsgBytes;
+  ctx_.bus->PostSend(std::move(stop));
+  finished_ = true;
+}
+
+// --------------------------------------------------------- preprocessing
+
+Task<> EngineCore::Preprocess() {
+  BucketTimer t(ctx_.sim, metrics_, Bucket::kPreprocess);
+  const auto& cost = ctx_.cost();
+  {
+    RecordBinner edge_binner(parts_, sizeof(Edge), meta_.edge_wire_bytes,
+                             ctx_.config->chunk_bytes);
+    ChunkWriter writer(&ctx_, &rng_, ctx_.config->fetch_window());
+    std::unordered_map<VertexId, uint32_t> degree_counts;
+    ChunkFetcher fetcher(&ctx_, &rng_, SetId{0, SetKind::kInput}, kInputEpoch,
+                         ctx_.config->fetch_window(), LocalMasterTarget(ctx_.machine));
+    fetcher.Start();
+    const bool count_degrees = kernel_->needs_out_degrees();
+    while (true) {
+      if (Dead()) {
+        co_await fetcher.Cancel();
+        break;
+      }
+      std::optional<Chunk> chunk = co_await fetcher.Next();
+      if (!chunk.has_value()) {
+        break;
+      }
+      auto edges = ChunkSpan<Edge>(*chunk);
+      co_await ctx_.sim->Delay(ctx_.CpuTime(edges.size(), cost.ns_per_edge_scatter) +
+                               ctx_.MessageTime());
+      for (const Edge& e : edges) {
+        edge_binner.Add(parts_->PartitionOf(e.src), e);
+        if (count_degrees && e.flags == kEdgeForward) {
+          degree_counts[e.src]++;
+        }
+      }
+      ++metrics_->chunks_fetched;
+      co_await edge_binner.FlushPending(&writer, SetKind::kEdges);
+    }
+    co_await edge_binner.FlushAll(&writer, SetKind::kEdges);
+    if (count_degrees) {
+      RecordBinner degree_binner(parts_, sizeof(UpdateRecord<uint32_t>),
+                                 meta_.vertex_id_wire_bytes + 4, ctx_.config->chunk_bytes);
+      for (const auto& [vertex, count] : degree_counts) {
+        const UpdateRecord<uint32_t> record{vertex, count};
+        degree_binner.Add(parts_->PartitionOf(vertex), record);
+      }
+      co_await degree_binner.FlushAll(&writer, SetKind::kDegrees);
+    }
+    co_await writer.Drain();
+  }
+  co_await Barrier(/*advance=*/false);
+  if (aborted_) {
+    co_return;  // a machine died during pre-processing: no state to init
+  }
+
+  // Vertex-set initialization for owned partitions.
+  ChunkWriter writer(&ctx_, &rng_, ctx_.config->fetch_window());
+  for (const PartitionId p : own_partitions_) {
+    const uint64_t count = parts_->Count(p);
+    const VertexId base = parts_->Base(p);
+    std::vector<uint32_t> degrees;
+    if (kernel_->needs_out_degrees()) {
+      degrees.assign(count, 0);
+      ChunkFetcher fetcher(&ctx_, &rng_, SetId{p, SetKind::kDegrees}, kDegreesEpoch,
+                           ctx_.config->fetch_window(), LocalMasterTarget(parts_->Master(p)));
+      fetcher.Start();
+      while (true) {
+        std::optional<Chunk> chunk = co_await fetcher.Next();
+        if (!chunk.has_value()) {
+          break;
+        }
+        for (const auto& rec : ChunkSpan<UpdateRecord<uint32_t>>(*chunk)) {
+          CHAOS_DCHECK(parts_->PartitionOf(rec.dst) == p);
+          degrees[rec.dst - base] += rec.value;
+        }
+      }
+      const SetId degrees_set{p, SetKind::kDegrees};
+      co_await DeleteSetEverywhere(&ctx_, degrees_set);
+    }
+    co_await WriteVertexSetFromInit(p, degrees, &writer);
+  }
+  co_await writer.Drain();
+}
+
+Task<> EngineCore::WriteVertexSetFromInit(PartitionId p, const std::vector<uint32_t>& degrees,
+                                          ChunkWriter* writer) {
+  const uint64_t count = parts_->Count(p);
+  const VertexId base = parts_->Base(p);
+  co_await ctx_.sim->Delay(ctx_.CpuTime(count, ctx_.cost().ns_per_vertex_apply));
+  PooledBatch states;
+  if (ctx_.pool != nullptr) {
+    states.lease = co_await ctx_.pool->Acquire(count * kernel_->vertex_state_bytes());
+  }
+  states.batch = RecordBatch(kernel_->vertex_state_bytes(), count);
+  kernel_->InitVertexBatch(&states.batch, base, degrees.empty() ? nullptr : degrees.data());
+  co_await WriteVertexSet(p, states.batch, SetKind::kVertices, writer);
+}
+
+// --------------------------------------------------- vertex set load/store
+
+Task<PooledBatch> EngineCore::LoadVertexSet(PartitionId p) {
+  const uint64_t count = parts_->Count(p);
+  const uint64_t record_bytes = kernel_->vertex_state_bytes();
+  PooledBatch out;
+  if (ctx_.pool != nullptr) {
+    out.lease = co_await ctx_.pool->Acquire(count * record_bytes);
+  }
+  out.batch = RecordBatch(record_bytes, count);
+  const uint64_t per_chunk = VertsPerChunk();
+  const auto nchunks = static_cast<uint32_t>((count + per_chunk - 1) / per_chunk);
+  Semaphore window(ctx_.sim, ctx_.config->fetch_window());
+  TaskGroup group(ctx_.sim);
+  for (uint32_t idx = 0; idx < nchunks; ++idx) {
+    co_await window.Acquire();
+    group.Spawn(LoadVertexChunk(p, idx, &out.batch, &window));
+  }
+  co_await group.Join();
+  co_return out;
+}
+
+Task<> EngineCore::LoadVertexChunk(PartitionId p, uint32_t idx, RecordBatch* out,
+                                   Semaphore* window) {
+  const MachineId home = VertexChunkHome(p, idx, ctx_.machines());
+  Message req;
+  req.src = ctx_.machine;
+  req.dst = home;
+  req.service = kStorageService;
+  req.type = kReadIndexedReq;
+  req.wire_bytes = kControlMsgBytes;
+  req.body = ReadIndexedReq{SetId{p, SetKind::kVertices}, idx, false, 0};
+  Message resp = co_await ctx_.bus->Call(std::move(req));
+  const auto& r = std::any_cast<const ReadChunkResp&>(resp.body);
+  CHAOS_CHECK_MSG(r.ok, "missing vertex chunk " + std::to_string(idx) + " of partition " +
+                            std::to_string(p));
+  const uint64_t start = static_cast<uint64_t>(idx) * VertsPerChunk();
+  CHAOS_CHECK_LE(start + r.chunk.count, out->count());
+  out->CopyIn(start, r.chunk.data.get(), r.chunk.count);
+  window->Release();
+}
+
+Task<> EngineCore::WriteVertexSet(PartitionId p, const RecordBatch& states, SetKind kind,
+                                  ChunkWriter* writer) {
+  const uint64_t per_chunk = VertsPerChunk();
+  for (uint64_t start = 0, idx = 0; start < states.count(); start += per_chunk, ++idx) {
+    const uint64_t n = std::min(per_chunk, states.count() - start);
+    // Zero-copy: the chunk aliases the batch's buffer (record_batch.h); no
+    // per-chunk slice vector is materialized. Vertex (and checkpoint)
+    // chunks live at hashed homes (§6.4); the writer window still bounds
+    // outstanding requests.
+    Chunk chunk = states.BorrowChunk(static_cast<uint32_t>(idx), start, n,
+                                     n * states.record_bytes());
+    const MachineId home = VertexChunkHome(p, static_cast<uint32_t>(idx), ctx_.machines());
+    const SetId target{p, kind};
+    co_await writer->Write(target, std::move(chunk), home);
+  }
+}
+
+Task<> EngineCore::TouchBatch(const PooledBatch& b) {
+  if (ctx_.pool != nullptr && b.lease.active()) {
+    co_await ctx_.pool->Touch(b.lease);
+  }
+}
+
+// ------------------------------------------------------------- stealing
+
+void EngineCore::ResetOwnStatuses() {
+  own_status_.clear();
+  for (const PartitionId p : own_partitions_) {
+    own_status_.emplace(p, PartStatus{});
+  }
+}
+
+void EngineCore::OnMasterStartsPartition(PartitionId p) {
+  PartStatus& st = own_status_[p];
+  st.s = PartStatus::S::kActive;
+  ++st.workers;
+}
+
+void EngineCore::OnMasterFinishesPartition(PartitionId p) {
+  PartStatus& st = own_status_[p];
+  st.s = PartStatus::S::kClosed;
+  --st.workers;
+}
+
+bool EngineCore::StealDecision(PartitionId p, EnginePhase phase) {
+  auto it = own_status_.find(p);
+  CHAOS_CHECK(it != own_status_.end());
+  PartStatus& st = it->second;
+  if (st.s == PartStatus::S::kClosed) {
+    return false;
+  }
+  const SetId set = phase == EnginePhase::kScatter ? EdgesSet(p) : UpdatesSet(p, superstep_);
+  const uint64_t epoch = phase == EnginePhase::kScatter ? ScatterEpoch() : GatherEpoch();
+  const double d_local = static_cast<double>(ctx_.local_storage()->RemainingBytes(set, epoch));
+  const double d = d_local * ctx_.machines();
+  if (d <= 0.0) {
+    return false;
+  }
+  const double v = static_cast<double>(parts_->Count(p)) *
+                   static_cast<double>(kernel_->vertex_state_bytes());
+  const int h = st.workers > 0 ? st.workers : 1;
+  const double alpha = ctx_.config->alpha;
+  return std::isinf(alpha) || (v + d / (h + 1) < alpha * d / h);
+}
+
+Task<> EngineCore::StealLoop(EnginePhase phase, std::function<Task<>(PartitionId)> work) {
+  while (!Dead()) {
+    bool any_accept = false;
+    std::vector<uint32_t> order = rng_.Permutation(parts_->num_partitions());
+    for (const PartitionId p : order) {
+      if (Dead()) {
+        break;
+      }
+      if (parts_->Master(p) == ctx_.machine) {
+        continue;
+      }
+      ++metrics_->steal_proposals_sent;
+      Message req;
+      req.src = ctx_.machine;
+      req.dst = parts_->Master(p);
+      req.service = kControlService;
+      req.type = kHelpProposalReq;
+      req.wire_bytes = kControlMsgBytes;
+      req.body = HelpProposalReq{p, phase, superstep_};
+      Message resp = co_await ctx_.bus->Call(std::move(req));
+      if (!std::any_cast<const HelpProposalResp&>(resp.body).accept) {
+        continue;
+      }
+      any_accept = true;
+      ++metrics_->steals_worked;
+      co_await work(p);
+    }
+    if (!any_accept) {
+      break;
+    }
+  }
+}
+
+// ------------------------------------------------------- control server
+
+Task<> EngineCore::ControlServer() {
+  SimQueue<Message>& inbox = ctx_.bus->Inbox(ctx_.machine, kControlService);
+  while (true) {
+    Message m = co_await inbox.Pop();
+    switch (m.type) {
+      case kHelpProposalReq: {
+        const auto& req = std::any_cast<const HelpProposalReq&>(m.body);
+        ++metrics_->proposals_received;
+        bool accept = false;
+        // A dead master accepts no new helpers (its superstep is doomed);
+        // already-admitted stealers are drained by the handshake.
+        if (ctx_.config->stealing_enabled() && !Dead() && req.superstep == superstep_ &&
+            req.phase == phase_ && own_status_.count(req.partition) != 0) {
+          accept = StealDecision(req.partition, req.phase);
+          if (accept) {
+            PartStatus& st = own_status_[req.partition];
+            ++st.workers;
+            if (st.s == PartStatus::S::kPending) {
+              st.s = PartStatus::S::kActive;
+            }
+            if (req.phase == EnginePhase::kGather) {
+              st.gather_stealers.push_back(m.src);
+            }
+            ++metrics_->proposals_accepted;
+          }
+        }
+        ctx_.bus->PostReply(m, kHelpProposalResp, kControlMsgBytes, HelpProposalResp{accept});
+        break;
+      }
+      case kAccumPullReq:
+        ctx_.sim->Spawn(HandleAccumPull(std::move(m)));
+        break;
+      case kControlShutdown:
+        co_return;
+      default:
+        CHAOS_CHECK_MSG(false, "unknown control message type " + std::to_string(m.type));
+    }
+  }
+}
+
+Task<> EngineCore::HandleAccumPull(Message m) {
+  const auto& req = std::any_cast<const AccumPullReq&>(m.body);
+  while (stolen_accums_.count(req.partition) == 0) {
+    co_await stolen_ready_.Wait();
+  }
+  auto node = stolen_accums_.extract(req.partition);
+  Chunk accums = std::move(node.mapped());
+  const uint64_t wire = accums.model_bytes + kControlMsgBytes;
+  AccumPullResp resp{std::move(accums), 0};
+  ctx_.bus->PostReply(m, kAccumPullResp, wire, std::move(resp));
+  stolen_taken_.NotifyAll();
+}
+
+void EngineCore::ParkStolenAccums(PartitionId p, Chunk accums) {
+  stolen_accums_[p] = std::move(accums);
+  stolen_ready_.NotifyAll();
+}
+
+Task<> EngineCore::WaitStolenAccumsTaken(PartitionId p) {
+  BucketTimer wait_t(ctx_.sim, metrics_, Bucket::kMergeWait);
+  while (stolen_accums_.count(p) != 0) {
+    co_await stolen_taken_.Wait();
+  }
+}
+
+}  // namespace chaos

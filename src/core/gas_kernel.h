@@ -1,0 +1,178 @@
+// GasKernel<P>: the thin typed adapter between a GAS program (gas.h) and
+// the untemplated engine core. Everything per-edge / per-update / per-vertex
+// is a tight typed loop here — emitters are lambdas, records are real
+// structs, nothing virtual inside the loop — while the engine's control
+// flow (engine_core.h, scatter_phase.cc, gather_phase.cc) calls through the
+// chunk-granularity ProgramKernel interface and compiles once for all ten
+// algorithms.
+#ifndef CHAOS_CORE_GAS_KERNEL_H_
+#define CHAOS_CORE_GAS_KERNEL_H_
+
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "core/gas.h"
+#include "core/partition.h"
+#include "core/program_kernel.h"
+#include "graph/types.h"
+
+namespace chaos {
+
+template <GasProgram P>
+class GasKernel final : public ProgramKernel {
+ public:
+  using VState = typename P::VertexState;
+  using U = typename P::UpdateValue;
+  using A = typename P::Accumulator;
+  using G = typename P::GlobalState;
+  using Out = typename P::OutputRecord;
+  using Rec = UpdateRecord<U>;
+
+  GasKernel(const P* prog, const Partitioning* parts, uint64_t vertex_id_wire_bytes,
+            const G& initial_global)
+      : prog_(prog),
+        parts_(parts),
+        update_wire_(UpdateWireBytes<U>(vertex_id_wire_bytes)),
+        global_(initial_global),
+        local_(prog->InitLocal()) {}
+
+  // ---- Static facts.
+  const char* name() const override { return P::kName; }
+  bool needs_out_degrees() const override { return P::kNeedsOutDegrees; }
+  uint64_t vertex_state_bytes() const override { return sizeof(VState); }
+  uint64_t accum_bytes() const override { return sizeof(A); }
+  uint64_t update_stride_bytes() const override { return sizeof(Rec); }
+  uint64_t update_wire_bytes() const override { return update_wire_; }
+  uint64_t global_wire_bytes() const override { return sizeof(G); }
+
+  // ---- Aggregator state.
+  bool WantScatter() const override { return prog_->WantScatter(global_); }
+
+  std::vector<uint8_t> TakeLocalBlob() override {
+    std::vector<uint8_t> blob(sizeof(G));
+    std::memcpy(blob.data(), &local_, sizeof(G));
+    local_ = prog_->InitLocal();
+    return blob;
+  }
+
+  void SetGlobal(const std::vector<uint8_t>& blob) override {
+    CHAOS_CHECK_EQ(blob.size(), sizeof(G));
+    std::memcpy(&global_, blob.data(), sizeof(G));
+  }
+
+  std::vector<uint8_t> GlobalBlob() const override {
+    std::vector<uint8_t> blob(sizeof(G));
+    std::memcpy(blob.data(), &global_, sizeof(G));
+    return blob;
+  }
+
+  void CommitCheckpointGlobal() override { checkpointed_global_ = global_; }
+
+  // ---- Coordinator-side blob folds.
+  void ReduceGlobal(void* folded, const void* local) const override {
+    G f;
+    G l;
+    std::memcpy(&f, folded, sizeof(G));
+    std::memcpy(&l, local, sizeof(G));
+    prog_->ReduceGlobal(f, l);
+    std::memcpy(folded, &f, sizeof(G));
+  }
+
+  bool Advance(void* folded, uint64_t superstep, uint64_t changed) const override {
+    G f;
+    std::memcpy(&f, folded, sizeof(G));
+    const bool done = prog_->Advance(f, superstep, changed);
+    std::memcpy(folded, &f, sizeof(G));
+    return done;
+  }
+
+  // ---- Batch kernels.
+  void InitVertexBatch(RecordBatch* states, VertexId base, const uint32_t* degrees) override {
+    auto out = states->template Span<VState>();
+    for (uint64_t i = 0; i < out.size(); ++i) {
+      out[i] = prog_->InitVertex(global_, base + i, degrees == nullptr ? 0 : degrees[i]);
+    }
+  }
+
+  void InitAccumBatch(RecordBatch* accums) override {
+    auto out = accums->template Span<A>();
+    for (A& a : out) {
+      a = prog_->InitAccum();
+    }
+  }
+
+  void ScatterChunk(const Chunk& edges, const RecordBatch& vstate, VertexId base,
+                    RecordBinner* binner) override {
+    auto states = vstate.template Span<const VState>();
+    auto emit = [&](VertexId dst, const U& value) {
+      const Rec rec{dst, value};
+      binner->Add(parts_->PartitionOf(dst), rec);
+    };
+    for (const Edge& e : ChunkSpan<Edge>(edges)) {
+      CHAOS_DCHECK(e.src - base < states.size());
+      prog_->Scatter(global_, e.src, states[e.src - base], e, emit);
+    }
+  }
+
+  void GatherChunk(const Chunk& updates, const RecordBatch& vstate, RecordBatch* accums,
+                   VertexId base, RecordBinner* binner) override {
+    auto states = vstate.template Span<const VState>();
+    auto acc = accums->template Span<A>();
+    auto emit = [&](VertexId dst, const U& value) {
+      const Rec rec{dst, value};
+      binner->Add(parts_->PartitionOf(dst), rec);
+    };
+    for (const Rec& r : ChunkSpan<Rec>(updates)) {
+      CHAOS_DCHECK(r.dst - base < acc.size());
+      prog_->Gather(global_, r.dst, states[r.dst - base], acc[r.dst - base], r.value, emit);
+    }
+  }
+
+  void MergeAccumChunk(RecordBatch* accums, const Chunk& theirs) override {
+    auto acc = accums->template Span<A>();
+    auto other = ChunkSpan<A>(theirs);
+    CHAOS_CHECK_EQ(other.size(), acc.size());
+    for (size_t i = 0; i < acc.size(); ++i) {
+      prog_->MergeAccum(acc[i], other[i]);
+    }
+  }
+
+  uint64_t ApplyBatch(RecordBatch* vstate, const RecordBatch& accums, VertexId base,
+                      RecordBinner* binner) override {
+    auto states = vstate->template Span<VState>();
+    auto acc = accums.template Span<const A>();
+    auto emit = [&](VertexId dst, const U& value) {
+      const Rec rec{dst, value};
+      binner->Add(parts_->PartitionOf(dst), rec);
+    };
+    auto sink = [&](const Out& out) { outputs_.push_back(out); };
+    uint64_t changed = 0;
+    for (size_t i = 0; i < states.size(); ++i) {
+      if (prog_->Apply(global_, base + i, states[i], acc[i], local_, emit, sink)) {
+        ++changed;
+      }
+    }
+    return changed;
+  }
+
+  size_t num_outputs() const override { return outputs_.size(); }
+
+  // ---- Typed accessors for the composition layer (compute_engine.h).
+  const G& global() const { return global_; }
+  const G& checkpointed_global() const { return checkpointed_global_; }
+  const std::vector<Out>& outputs() const { return outputs_; }
+
+ private:
+  const P* prog_;
+  const Partitioning* parts_;
+  uint64_t update_wire_;
+  G global_;
+  G local_;
+  G checkpointed_global_{};
+  std::vector<Out> outputs_;
+};
+
+}  // namespace chaos
+
+#endif  // CHAOS_CORE_GAS_KERNEL_H_

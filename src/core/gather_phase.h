@@ -1,0 +1,44 @@
+// GatherPhase: the untemplated gather-phase driver (paper §4, Fig. 4 lines
+// 35-53). For each owned partition: stream the update set into replica
+// accumulators, close the partition, pull and merge every stealer's
+// replica, apply (folded into gather at the master, §4), write the new
+// vertex set back (plus the hot checkpoint copy when due), and delete the
+// consumed update set. Stolen partitions stream into a replica and park it
+// for the master's accumulator pull. Per-update/per-vertex work happens
+// inside the typed kernel; this driver compiles once.
+#ifndef CHAOS_CORE_GATHER_PHASE_H_
+#define CHAOS_CORE_GATHER_PHASE_H_
+
+#include "core/engine_core.h"
+
+namespace chaos {
+
+class GatherPhase {
+ public:
+  explicit GatherPhase(EngineCore* core);
+
+  // Runs the full phase: own partitions (master protocol), stealing, final
+  // flush + drain. Emissions produced during gather/apply feed the *next*
+  // superstep's update set.
+  Task<> Run();
+
+ private:
+  struct Streamed {
+    PooledBatch vstate;
+    PooledBatch accums;
+  };
+
+  // Shared streaming part of gather; returns the loaded vertex states and
+  // the gathered replica accumulators.
+  Task<Streamed> Stream(PartitionId p, bool stolen);
+  Task<> ProcessMaster(PartitionId p);
+  Task<> ProcessStolen(PartitionId p);
+
+  EngineCore* core_;
+  RecordBinner binner_;
+  ChunkWriter writer_;
+};
+
+}  // namespace chaos
+
+#endif  // CHAOS_CORE_GATHER_PHASE_H_

@@ -40,11 +40,27 @@ TimeNs MachineMetrics::TotalTracked() const {
 }
 
 uint64_t RunMetrics::StorageBytesMoved() const {
-  uint64_t total = 0;
+  uint64_t total = SpillBytesMoved();
   for (const DeviceMetrics& d : devices) {
     total += d.bytes_read + d.bytes_written;
   }
   return total;
+}
+
+uint64_t RunMetrics::SpillBytesMoved() const {
+  uint64_t total = 0;
+  for (const PoolMetrics& p : pools) {
+    total += p.spill_out_bytes + p.spill_in_bytes;
+  }
+  return total;
+}
+
+uint64_t RunMetrics::PeakMemoryBytes() const {
+  uint64_t peak = 0;
+  for (const PoolMetrics& p : pools) {
+    peak = std::max(peak, p.peak_bytes);
+  }
+  return peak;
 }
 
 double RunMetrics::AggregateStorageBandwidth() const {
@@ -120,6 +136,13 @@ std::string RunMetrics::Summary() const {
                 FormatBandwidth(AggregateStorageBandwidth()).c_str(),
                 100.0 * MeanDeviceUtilization(), FormatBytes(network_bytes).c_str());
   out += line;
+  if (SpillBytesMoved() > 0) {
+    std::snprintf(line, sizeof(line), "  memory: peak=%s spill=%s (budget %s/machine)\n",
+                  FormatBytes(PeakMemoryBytes()).c_str(),
+                  FormatBytes(SpillBytesMoved()).c_str(),
+                  pools.empty() ? "?" : FormatBytes(pools.front().budget_bytes).c_str());
+    out += line;
+  }
   for (int b = 0; b < static_cast<int>(Bucket::kNumBuckets); ++b) {
     std::snprintf(line, sizeof(line), "  %-14s %6.2f%%\n",
                   BucketName(static_cast<Bucket>(b)),

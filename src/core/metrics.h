@@ -54,12 +54,30 @@ struct DeviceMetrics {
   uint64_t chunks_served = 0;
 };
 
+// Per-machine buffer-pool accounting (core/buffer_pool.h): the enforced
+// memory budget, the high-water mark of allocated buffer bytes, and the
+// spill traffic memory pressure generated on the machine's storage device.
+struct PoolMetrics {
+  uint64_t budget_bytes = 0;  // 0 = enforcement off (accounting only)
+  // High-water mark of RESIDENT buffer bytes — what RAM actually held,
+  // sampled after admission control, so never above an enforced budget.
+  // With enforcement off nothing evicts and this is the true peak working
+  // set (what fig_memory's unconstrained baseline measures as B0).
+  uint64_t peak_bytes = 0;
+  uint64_t spill_out_bytes = 0;  // pages evicted to the device
+  uint64_t spill_in_bytes = 0;   // pages faulted back from the device
+  uint64_t spill_events = 0;     // eviction batches
+  uint64_t acquires = 0;         // buffer admissions
+  TimeNs stall_time = 0;         // sim time spent waiting on spill I/O
+};
+
 struct RunMetrics {
   TimeNs total_time = 0;
   TimeNs preprocess_time = 0;  // up to the start of the first scatter
   uint64_t supersteps = 0;
   std::vector<MachineMetrics> machines;
   std::vector<DeviceMetrics> devices;
+  std::vector<PoolMetrics> pools;  // per-machine memory accounting
   uint64_t network_bytes = 0;
   uint64_t incast_events = 0;
   uint64_t messages = 0;
@@ -80,7 +98,13 @@ struct RunMetrics {
 
   double total_seconds() const { return ToSeconds(total_time); }
 
+  // Total device traffic: chunk reads/writes plus buffer-pool spill.
   uint64_t StorageBytesMoved() const;
+  // Memory-pressure spill traffic alone (both directions, all machines).
+  uint64_t SpillBytesMoved() const;
+  // Max over machines of the pool's high-water mark of resident buffer
+  // bytes (see PoolMetrics::peak_bytes).
+  uint64_t PeakMemoryBytes() const;
   // Aggregate storage bandwidth over the run (Fig. 14).
   double AggregateStorageBandwidth() const;
   // Mean device utilization = busy / total, averaged over devices.

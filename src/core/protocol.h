@@ -30,6 +30,7 @@
 #define CHAOS_CORE_PROTOCOL_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "storage/chunk.h"
 #include "util/common.h"
@@ -41,8 +42,8 @@ enum ComputeMsgType : uint32_t {
   kHelpProposalResp = 301,  // body: HelpProposalResp
   kAccumPullReq = 302,      // body: AccumPullReq -> kAccumPullResp
   kAccumPullResp = 303,     // body: AccumPullResp
-  kBarrierArrive = 304,     // body: BarrierArrive<G> -> kBarrierRelease
-  kBarrierRelease = 305,    // body: BarrierRelease<G>
+  kBarrierArrive = 304,     // body: BarrierArriveMsg -> kBarrierRelease
+  kBarrierRelease = 305,    // body: BarrierReleaseMsg
   kControlShutdown = 306,
 };
 
@@ -92,32 +93,35 @@ struct AccumPullResp {
 
 // Arrival at the end-of-phase barrier (§5.2). `local` carries the
 // machine's aggregator delta (e.g. PageRank's dangling mass, BFS's frontier
-// count); `advance` marks the gather barrier where the coordinator reduces
-// the deltas and runs Advance to decide convergence (Fig. 4 line 54).
-template <typename G>
-struct BarrierArrive {
-  uint64_t phase_id = 0;  // monotonically increasing per barrier
-  G local{};              // per-machine aggregator delta
+// count) as an opaque byte blob serialized by the program kernel
+// (core/program_kernel.h) — the barrier protocol itself is untyped, so the
+// coordinator FSM compiles once for every GAS program. The modeled wire
+// size is kControlMsgBytes + the kernel's global_wire_bytes(). `advance`
+// marks the gather barrier where the coordinator reduces the deltas and
+// runs Advance to decide convergence (Fig. 4 line 54).
+struct BarrierArriveMsg {
+  uint64_t phase_id = 0;        // monotonically increasing per barrier
+  std::vector<uint8_t> local;   // per-machine aggregator delta (kernel blob)
   uint64_t vertices_changed = 0;
-  bool advance = false;   // gather barrier: reduce aggregators and Advance()
-  bool failed = false;    // this machine was fault-killed mid-run: the
-                          // coordinator must abort the superstep (§6.6).
-                          // Models failure detection at the barrier — the
-                          // point where a real cluster's heartbeat timeout
-                          // would fire — without un-draining the sim.
+  bool advance = false;  // gather barrier: reduce aggregators and Advance()
+  bool failed = false;   // this machine was fault-killed mid-run: the
+                         // coordinator must abort the superstep (§6.6).
+                         // Models failure detection at the barrier — the
+                         // point where a real cluster's heartbeat timeout
+                         // would fire — without un-draining the sim.
   uint64_t superstep = 0;
 };
 
 // Coordinator release: the canonical global state every machine computes
-// the next phase under. `done` ends the run (Advance returned true);
-// `crash` aborts it — either a machine failure was detected this barrier
-// (an arrival carried `failed`) or the scripted whole-cluster failure of
-// the recovery experiments fired (§6.6). In both cases engines stop without
-// finishing and durable storage contents survive, so a recovery driver can
-// re-import the last committed checkpoint (core/recovery.h).
-template <typename G>
-struct BarrierRelease {
-  G global{};  // canonical global state for the next phase
+// the next phase under (kernel blob). `done` ends the run (Advance returned
+// true); `crash` aborts it — either a machine failure was detected this
+// barrier (an arrival carried `failed`) or the scripted whole-cluster
+// failure of the recovery experiments fired (§6.6). In both cases engines
+// stop without finishing and durable storage contents survive, so a
+// recovery driver can re-import the last committed checkpoint
+// (core/recovery.h).
+struct BarrierReleaseMsg {
+  std::vector<uint8_t> global;  // canonical global state for the next phase
   bool done = false;
   bool crash = false;  // failure: stop without finishing, storage survives
 };

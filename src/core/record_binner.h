@@ -1,0 +1,120 @@
+// RecordBinner: bins emitted records by destination partition into
+// chunk-sized buffers. Untemplated — buffer management, parking and chunk
+// flushing compile once in the untyped engine core — while Add<RecT>() is a
+// tiny inline template so the per-record hot path (called from the typed
+// kernels' per-edge loops) stays free of virtual dispatch.
+//
+// Add() is synchronous; full buffers are parked and flushed by the owning
+// coroutine between chunks (FlushPending / FlushAll).
+#ifndef CHAOS_CORE_RECORD_BINNER_H_
+#define CHAOS_CORE_RECORD_BINNER_H_
+
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/chunk_io.h"
+#include "core/partition.h"
+#include "storage/chunk.h"
+#include "util/common.h"
+
+namespace chaos {
+
+// Builds a chunk whose payload is a raw byte buffer holding `count` records.
+// The buffer comes from operator new (max_align_t-aligned), so ChunkSpan<T>
+// views of any POD record type are valid.
+inline Chunk MakeChunkFromBytes(uint32_t index, uint64_t model_bytes, uint32_t count,
+                                std::vector<uint8_t> bytes) {
+  Chunk c;
+  c.index = index;
+  c.model_bytes = model_bytes;
+  c.count = count;
+  c.payload_bytes = bytes.size();
+  auto holder = std::make_shared<std::vector<uint8_t>>(std::move(bytes));
+  c.data = std::shared_ptr<const void>(holder, holder->data());
+  return c;
+}
+
+class RecordBinner {
+ public:
+  // `record_stride_bytes` is the in-memory record width (sizeof(RecT));
+  // `record_wire_bytes` the modeled on-disk/wire width the paper charges.
+  RecordBinner(const Partitioning* parts, uint64_t record_stride_bytes,
+               uint64_t record_wire_bytes, uint64_t chunk_bytes)
+      : parts_(parts),
+        stride_(record_stride_bytes),
+        record_wire_(record_wire_bytes),
+        records_per_chunk_(RecordsPerChunk(chunk_bytes, record_wire_bytes)),
+        buffers_(parts->num_partitions()) {
+    CHAOS_CHECK_GT(stride_, 0u);
+  }
+
+  // Chunk capacity in records. Floored at one record per chunk so records
+  // wider than the chunk still make progress; zero-width records (empty
+  // payloads) never fill a chunk by byte count, so they are binned as if
+  // one byte wide instead of dividing by zero.
+  static uint64_t RecordsPerChunk(uint64_t chunk_bytes, uint64_t record_wire_bytes) {
+    const uint64_t wire = record_wire_bytes < 1 ? 1 : record_wire_bytes;
+    const uint64_t per = chunk_bytes / wire;
+    return per < 1 ? 1 : per;
+  }
+
+  template <typename RecT>
+  void Add(PartitionId p, const RecT& record) {
+    static_assert(std::is_trivially_copyable_v<RecT>, "binned records must be POD");
+    CHAOS_DCHECK(sizeof(RecT) == stride_);
+    auto& buffer = buffers_[p];
+    const auto* raw = reinterpret_cast<const uint8_t*>(&record);
+    buffer.insert(buffer.end(), raw, raw + sizeof(RecT));
+    ++emitted_;
+    if (buffer.size() >= records_per_chunk_ * stride_) {
+      pending_.emplace_back(p, std::move(buffer));
+      buffer.clear();
+    }
+  }
+
+  bool HasPending() const { return !pending_.empty(); }
+  uint64_t emitted() const { return emitted_; }
+
+  Task<> FlushPending(ChunkWriter* writer, SetKind kind) {
+    while (!pending_.empty()) {
+      auto [p, bytes] = std::move(pending_.front());
+      pending_.pop_front();
+      const auto count = static_cast<uint32_t>(bytes.size() / stride_);
+      const uint64_t wire = count * record_wire_;
+      // NOTE: named locals (not braced temporaries) around coroutine calls;
+      // g++ 12 miscompiles braced aggregate temporaries passed directly as
+      // coroutine arguments (see docs in sim/task.h).
+      const SetId target{p, kind};
+      Chunk chunk = MakeChunkFromBytes(next_index_++, wire, count, std::move(bytes));
+      co_await writer->Write(target, std::move(chunk), parts_->Master(p));
+    }
+  }
+
+  Task<> FlushAll(ChunkWriter* writer, SetKind kind) {
+    for (PartitionId p = 0; p < buffers_.size(); ++p) {
+      if (!buffers_[p].empty()) {
+        pending_.emplace_back(p, std::move(buffers_[p]));
+        buffers_[p].clear();
+      }
+    }
+    co_await FlushPending(writer, kind);
+  }
+
+ private:
+  const Partitioning* parts_;
+  uint64_t stride_;
+  uint64_t record_wire_;
+  uint64_t records_per_chunk_;
+  std::vector<std::vector<uint8_t>> buffers_;
+  std::deque<std::pair<PartitionId, std::vector<uint8_t>>> pending_;
+  uint32_t next_index_ = 0;
+  uint64_t emitted_ = 0;
+};
+
+}  // namespace chaos
+
+#endif  // CHAOS_CORE_RECORD_BINNER_H_

@@ -1,0 +1,31 @@
+// ScatterPhase: the untemplated scatter-phase driver (paper §4, Fig. 4
+// lines 23-33). Streams the edge chunks of every owned partition against
+// the partition's vertex-state batch, then joins the randomized steal loop;
+// emitted updates are binned by destination partition and written to the
+// current superstep's update set. Per-edge work happens inside the typed
+// kernel (ProgramKernel::ScatterChunk); this driver compiles once.
+#ifndef CHAOS_CORE_SCATTER_PHASE_H_
+#define CHAOS_CORE_SCATTER_PHASE_H_
+
+#include "core/engine_core.h"
+
+namespace chaos {
+
+class ScatterPhase {
+ public:
+  explicit ScatterPhase(EngineCore* core);
+
+  // Runs the full phase: own partitions, stealing, final flush + drain.
+  Task<> Run();
+
+ private:
+  Task<> ProcessPartition(PartitionId p, bool stolen);
+
+  EngineCore* core_;
+  RecordBinner binner_;
+  ChunkWriter writer_;
+};
+
+}  // namespace chaos
+
+#endif  // CHAOS_CORE_SCATTER_PHASE_H_

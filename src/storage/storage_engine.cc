@@ -5,6 +5,7 @@
 #include <fstream>
 #include <utility>
 
+#include "core/buffer_pool.h"
 #include "util/logging.h"
 
 namespace chaos {
@@ -190,6 +191,12 @@ Task<> StorageEngine::HandleRead(Message m) {
     }
   }
   if (resp.ok) {
+    // The served payload is staged in this machine's memory between the
+    // device read and the wire handoff.
+    BufferPool::Lease lease;
+    if (pool_ != nullptr) {
+      lease = co_await pool_->Acquire(resp.chunk.model_bytes);
+    }
     // Serve the chunk from the device, in its entirety, FIFO (§6.2).
     co_await device_.Acquire(config_.access_latency +
                              TransferTimeNs(resp.chunk.model_bytes, config_.bandwidth_bps));
@@ -225,6 +232,10 @@ Task<> StorageEngine::HandleReadIndexed(Message m) {
     }
   }
   if (resp.ok) {
+    BufferPool::Lease lease;
+    if (pool_ != nullptr) {
+      lease = co_await pool_->Acquire(resp.chunk.model_bytes);
+    }
     co_await device_.Acquire(config_.access_latency +
                              TransferTimeNs(resp.chunk.model_bytes, config_.bandwidth_bps));
     bytes_read_ += resp.chunk.model_bytes;
@@ -239,6 +250,12 @@ Task<> StorageEngine::HandleReadIndexed(Message m) {
 Task<> StorageEngine::HandleWrite(Message m) {
   auto& req = std::any_cast<WriteChunkReq&>(m.body);
   const uint64_t bytes = req.chunk.model_bytes;
+  // Ingest staging: the arriving payload sits in memory until the device
+  // write completes.
+  BufferPool::Lease lease;
+  if (pool_ != nullptr) {
+    lease = co_await pool_->Acquire(bytes);
+  }
   SetStore& store = GetOrCreate(req.set);
   MaybeSpill(req.set, req.chunk);
   bool appended = true;

@@ -30,6 +30,8 @@
 
 namespace chaos {
 
+class BufferPool;  // core/buffer_pool.h; serve/write staging charges pages
+
 struct StorageConfig {
   double bandwidth_bps = 400e6;           // device bandwidth (SSD ~ 400 MB/s, §8)
   TimeNs access_latency = 100 * kNsPerUs; // per-request latency
@@ -98,6 +100,11 @@ class StorageEngine {
   // Spawns the serve loop. The engine runs until a kStorageShutdown message.
   void Start();
 
+  // Attaches this machine's buffer pool: chunk payloads staged in memory
+  // while being served or ingested acquire pages from it (the resident
+  // sets themselves model the disk, not RAM). Optional; null = untracked.
+  void set_pool(BufferPool* pool) { pool_ = pool; }
+
   // ---- Host-side (non-simulated) access, used for setup and inspection.
   void HostAddChunk(const SetId& set, Chunk chunk);
   // Returns nullptr if the set does not exist on this engine.
@@ -155,6 +162,7 @@ class StorageEngine {
   MessageBus* bus_;
   MachineId machine_;
   StorageConfig config_;
+  BufferPool* pool_ = nullptr;
   FifoResource device_;
   mutable std::unordered_map<SetId, SetStore, SetIdHash> sets_;
   uint64_t bytes_read_ = 0;

@@ -104,21 +104,20 @@ TEST(ConfigTest, FetchWindowAndStealing) {
 // ------------------------------------------------------------ record binner
 
 TEST(RecordBinnerTest, RecordsPerChunkFloorsAtOne) {
-  using Binner = RecordBinner<UpdateRecord<float>>;
   // Normal regime: the chunk holds many records.
-  EXPECT_EQ(Binner::RecordsPerChunk(4 << 20, 8), (4u << 20) / 8);
+  EXPECT_EQ(RecordBinner::RecordsPerChunk(4 << 20, 8), (4u << 20) / 8);
   // Record wider than the chunk: floor at one record per chunk.
-  EXPECT_EQ(Binner::RecordsPerChunk(16, 64), 1u);
-  EXPECT_EQ(Binner::RecordsPerChunk(0, 64), 1u);
+  EXPECT_EQ(RecordBinner::RecordsPerChunk(16, 64), 1u);
+  EXPECT_EQ(RecordBinner::RecordsPerChunk(0, 64), 1u);
   // Zero-width records must not divide by zero; they bin as one byte wide.
-  EXPECT_EQ(Binner::RecordsPerChunk(1 << 10, 0), 1u << 10);
-  EXPECT_EQ(Binner::RecordsPerChunk(0, 0), 1u);
+  EXPECT_EQ(RecordBinner::RecordsPerChunk(1 << 10, 0), 1u << 10);
+  EXPECT_EQ(RecordBinner::RecordsPerChunk(0, 0), 1u);
 }
 
 TEST(RecordBinnerTest, ZeroWireWidthBinsWithoutCrashing) {
   auto parts = Partitioning::Compute(64, 2, 16, 1 << 10);
-  RecordBinner<UpdateRecord<float>> binner(&parts, /*record_wire_bytes=*/0,
-                                           /*chunk_bytes=*/1 << 10);
+  RecordBinner binner(&parts, sizeof(UpdateRecord<float>), /*record_wire_bytes=*/0,
+                      /*chunk_bytes=*/1 << 10);
   for (VertexId v = 0; v < 64; ++v) {
     binner.Add(parts.PartitionOf(v), UpdateRecord<float>{v, 1.0f});
   }
@@ -128,8 +127,8 @@ TEST(RecordBinnerTest, ZeroWireWidthBinsWithoutCrashing) {
 TEST(RecordBinnerTest, OversizedRecordParksEveryAdd) {
   auto parts = Partitioning::Compute(64, 2, 16, 1 << 10);
   // chunk_bytes smaller than one record: every Add should fill a chunk.
-  RecordBinner<UpdateRecord<float>> binner(&parts, /*record_wire_bytes=*/64,
-                                           /*chunk_bytes=*/16);
+  RecordBinner binner(&parts, sizeof(UpdateRecord<float>), /*record_wire_bytes=*/64,
+                      /*chunk_bytes=*/16);
   binner.Add(parts.PartitionOf(0), UpdateRecord<float>{0, 1.0f});
   EXPECT_TRUE(binner.HasPending());
 }

@@ -1,8 +1,8 @@
 // Differential test suite: every Table-1 algorithm x {RMAT, grid, web}
-// input x {1, 2, 4} machines x {fault-free, straggler, crash+recovery}
-// checked against the sequential golden models in src/graph/ref/.
+// input x {1, 2, 4} machines x {fault-free, straggler, crash+recovery,
+// low-mem} checked against the sequential golden models in src/graph/ref/.
 //
-// The full 270-point matrix runs as ONE parallel sweep on the
+// The full 360-point matrix runs as ONE parallel sweep on the
 // SweepExecutor (util/parallel.h) the first time any test case asks for
 // its outcome; each gtest parameterized case then just asserts its own
 // point. Every point derives its seed as DeriveSeed(kBaseSeed, index) —
@@ -15,6 +15,9 @@
 //    patterns but must not change results (floats: within tolerance).
 //  * crash+recovery — a fail-stop machine crash mid-run, recovered from
 //    the last committed checkpoint, must still produce reference results.
+//  * low-mem — the enforced buffer-pool budget (core/buffer_pool.h)
+//    squeezed far below the working set: heavy spill/fault-in traffic and
+//    stalls change timing everywhere but must not change results.
 #include <gtest/gtest.h>
 
 #include <cmath>
@@ -37,7 +40,7 @@ namespace {
 
 constexpr uint64_t kBaseSeed = 20260729;
 
-enum class FaultMode { kNone, kStraggler, kCrashRecovery };
+enum class FaultMode { kNone, kStraggler, kCrashRecovery, kLowMemory };
 
 const char* FaultModeName(FaultMode mode) {
   switch (mode) {
@@ -47,6 +50,8 @@ const char* FaultModeName(FaultMode mode) {
       return "straggler";
     case FaultMode::kCrashRecovery:
       return "crash";
+    case FaultMode::kLowMemory:
+      return "lowmem";
   }
   return "?";
 }
@@ -80,6 +85,23 @@ std::vector<Point> BuildGrid() {
           p.index = grid.size();
           grid.push_back(p);
         }
+      }
+    }
+  }
+  // The low-mem column is APPENDED after the original 270-point block
+  // rather than nested in the fault loop: point seeds derive from grid
+  // indices, so inserting mid-grid would silently re-seed every later
+  // point and reset the history the original block has accumulated.
+  for (const auto& info : Algorithms()) {
+    for (const std::string graph : {"rmat", "grid", "web"}) {
+      for (const int machines : {1, 2, 4}) {
+        Point p;
+        p.algo = info.name;
+        p.graph = graph;
+        p.machines = machines;
+        p.fault = FaultMode::kLowMemory;
+        p.index = grid.size();
+        grid.push_back(p);
       }
     }
   }
@@ -293,6 +315,22 @@ std::string RunPoint(const Point& p) {
       }
       break;
     }
+    case FaultMode::kLowMemory: {
+      // Squeeze the enforced buffer pool far below the streaming working
+      // set (vertex batch + accumulators + fetch/write windows): the run
+      // thrashes — spill, fault-in, device stalls — yet must still match
+      // the golden model exactly like the healthy column.
+      ClusterConfig cfg = PointConfig(p.machines, seed);
+      // One chunk's worth of budget: any vertex batch plus a single
+      // in-flight 2 KiB chunk is already over, so every point — the
+      // 256-vertex grids at 4 machines included — really does thrash.
+      cfg.pool_budget_bytes = 2 << 10;
+      result = RunChaosAlgorithm(p.algo, prepared, cfg, params);
+      if (result.metrics.SpillBytesMoved() == 0) {
+        return "low-mem point generated no spill traffic; pressure knob inert?";
+      }
+      break;
+    }
   }
 
   std::string failure = CheckAgainstReference(p.algo, raw, prepared, params, result);
@@ -344,11 +382,18 @@ INSTANTIATE_TEST_SUITE_P(AllPoints, DifferentialTest, ::testing::ValuesIn(BuildG
 // silently re-seed every point and mask history-dependent regressions.
 TEST(DifferentialGridTest, GridShapeAndSeedsAreStable) {
   const auto grid = BuildGrid();
-  ASSERT_EQ(grid.size(), 10u * 3u * 3u * 3u);
+  ASSERT_EQ(grid.size(), 10u * 3u * 3u * 4u);
   EXPECT_EQ(grid[0].algo, "bfs");
   EXPECT_EQ(grid[0].graph, "rmat");
   EXPECT_EQ(grid[0].machines, 1);
   EXPECT_EQ(grid[0].fault, FaultMode::kNone);
+  // The original 270-point block keeps its indices (and so its seeds); the
+  // low-mem column is strictly appended.
+  EXPECT_EQ(grid[269].fault, FaultMode::kCrashRecovery);
+  EXPECT_EQ(grid[269].algo, "bp");
+  EXPECT_EQ(grid[270].fault, FaultMode::kLowMemory);
+  EXPECT_EQ(grid[270].algo, "bfs");
+  EXPECT_EQ(grid[270].machines, 1);
   // DeriveSeed is pinned: splitmix64-based, platform-stable.
   EXPECT_EQ(DeriveSeed(1, 0), DeriveSeed(1, 0));
   EXPECT_NE(DeriveSeed(1, 0), DeriveSeed(1, 1));
