@@ -49,7 +49,7 @@ CHAOS_BENCH_MAIN(capacity, "Sec 9.3 capacity scaling toward the trillion-edge mi
         cfg.pool_budget_bytes = mem_mb << 20;
       }
       CapacityPoint point;
-      point.result = RunChaosAlgorithm(name, prepared, cfg);
+      point.result = RunJob(MakeJob(name, prepared, cfg));
       point.num_edges = prepared.num_edges();
       return point;
     });

@@ -157,7 +157,7 @@ inline SweepExecutor& SharedSweepExecutor() {
 //
 // Pattern:
 //   Sweep<double> sweep;
-//   for (...) sweep.Add([=] { return RunChaosAlgorithm(...).metrics.total_seconds(); });
+//   for (...) sweep.Add([=] { return RunJob(MakeJob(...)).metrics.total_seconds(); });
 //   const auto seconds = sweep.Run();
 //   // print phase: walk the same loop nest with a running index.
 template <typename R>

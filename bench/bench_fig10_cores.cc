@@ -29,7 +29,7 @@ CHAOS_BENCH_MAIN(fig10, "Figure 10: sensitivity to CPU core count") {
           InputGraph prepared = PrepareInput(name, BenchRmat(scale, false, seed));
           ClusterConfig cfg = BenchClusterConfig(prepared, m, seed);
           cfg.cost.cores = cores;
-          return RunChaosAlgorithm(name, prepared, cfg).metrics.total_seconds();
+          return RunJob(MakeJob(name, prepared, cfg)).metrics.total_seconds();
         });
         ++step;
       }

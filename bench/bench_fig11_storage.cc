@@ -28,7 +28,7 @@ CHAOS_BENCH_MAIN(fig11, "Figure 11: SSD vs HDD weak scaling") {
           InputGraph prepared = PrepareInput(name, BenchRmat(scale, false, seed));
           ClusterConfig cfg = BenchClusterConfig(
               prepared, m, seed, ssd ? StorageConfig::Ssd() : StorageConfig::Hdd());
-          return RunChaosAlgorithm(name, prepared, cfg).metrics.total_seconds();
+          return RunJob(MakeJob(name, prepared, cfg)).metrics.total_seconds();
         });
         ++step;
       }

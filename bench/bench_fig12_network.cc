@@ -31,7 +31,7 @@ CHAOS_BENCH_MAIN(fig12, "Figure 12: 40 GigE vs 1 GigE weak scaling") {
           ClusterConfig cfg = BenchClusterConfig(
               prepared, m, seed, StorageConfig::Ssd(),
               fast ? NetworkConfig::FortyGigE() : NetworkConfig::OneGigE());
-          return RunChaosAlgorithm(name, prepared, cfg).metrics.total_seconds();
+          return RunJob(MakeJob(name, prepared, cfg)).metrics.total_seconds();
         });
         ++step;
       }

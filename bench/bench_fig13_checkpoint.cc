@@ -38,7 +38,7 @@ CHAOS_BENCH_MAIN(fig13, "Figure 13: checkpointing overhead") {
         ClusterConfig cfg =
             BenchClusterConfig(*prepared, machines, seed, StorageConfig::Hdd());
         cfg.checkpoint_interval = interval;
-        return RunChaosAlgorithm(name, *prepared, cfg).metrics.total_seconds();
+        return RunJob(MakeJob(name, *prepared, cfg)).metrics.total_seconds();
       });
     }
   }

@@ -37,7 +37,7 @@ CHAOS_BENCH_MAIN(fig14, "Figure 14: aggregate storage bandwidth during weak scal
         InputGraph prepared =
             PrepareInput(name, BenchRmat(scale, AlgorithmByName(name).needs_weights, seed));
         ClusterConfig cfg = BenchClusterConfig(prepared, m, seed);
-        return RunChaosAlgorithm(name, prepared, cfg).metrics.AggregateStorageBandwidth();
+        return RunJob(MakeJob(name, prepared, cfg)).metrics.AggregateStorageBandwidth();
       });
       ++step;
     }

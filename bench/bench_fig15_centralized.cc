@@ -29,7 +29,7 @@ CHAOS_BENCH_MAIN(fig15, "Figure 15: randomized chunk placement vs centralized di
           InputGraph prepared = PrepareInput(name, BenchRmat(scale, false, seed));
           ClusterConfig cfg = BenchClusterConfig(prepared, m, seed);
           cfg.placement = centralized ? Placement::kCentralDirectory : Placement::kRandom;
-          return RunChaosAlgorithm(name, prepared, cfg).metrics.total_seconds();
+          return RunJob(MakeJob(name, prepared, cfg)).metrics.total_seconds();
         });
         ++step;
       }

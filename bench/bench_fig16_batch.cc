@@ -31,7 +31,7 @@ CHAOS_BENCH_MAIN(fig16, "Figure 16: runtime vs batching window phi*k") {
         ClusterConfig cfg = BenchClusterConfig(*prepared, machines, seed);
         cfg.phi = 1.0;
         cfg.batch_k = window;  // fetch window = phi * k = window
-        return RunChaosAlgorithm(name, *prepared, cfg).metrics.total_seconds();
+        return RunJob(MakeJob(name, *prepared, cfg)).metrics.total_seconds();
       });
     }
   }

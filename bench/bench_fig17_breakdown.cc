@@ -27,7 +27,7 @@ CHAOS_BENCH_MAIN(fig17, "Figure 17: runtime breakdown at the largest machine cou
     const bool weighted = info.needs_weights;
     sweep.Add([name, weighted, scale, machines, seed] {
       InputGraph prepared = PrepareInput(name, BenchRmat(scale, weighted, seed));
-      return RunChaosAlgorithm(name, prepared, BenchClusterConfig(prepared, machines, seed));
+      return RunJob(MakeJob(name, prepared, BenchClusterConfig(prepared, machines, seed)));
     });
   }
   const std::vector<AlgoResult> results = sweep.Run();

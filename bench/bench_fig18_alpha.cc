@@ -39,7 +39,7 @@ CHAOS_BENCH_MAIN(fig18, "Figure 18: work-stealing bias (alpha) sweep") {
       sweep.Add([name, prepared, machines, seed, alpha] {
         ClusterConfig cfg = BenchClusterConfig(*prepared, machines, seed);
         cfg.alpha = alpha;
-        return RunChaosAlgorithm(name, *prepared, cfg);
+        return RunJob(MakeJob(name, *prepared, cfg));
       });
     }
   }

@@ -36,7 +36,7 @@ CHAOS_BENCH_MAIN(fig19, "Figure 19: Chaos vs a Giraph-like static-placement syst
           cfg.alpha = 0.0;                          // no dynamic load balancing
           cfg.placement = Placement::kLocalMaster;  // data pinned to its partition's machine
         }
-        return RunChaosAlgorithm("pagerank", *prepared, cfg).metrics.total_seconds();
+        return RunJob(MakeJob("pagerank", *prepared, cfg)).metrics.total_seconds();
       });
     }
   }

@@ -36,7 +36,7 @@ CHAOS_BENCH_MAIN(fig20, "Figure 20: dynamic load balancing vs upfront partitioni
       InputGraph prepared = PrepareInput(name, BenchRmat(scale, weighted, seed));
       Fig20Point point;
       point.result =
-          RunChaosAlgorithm(name, prepared, BenchClusterConfig(prepared, machines, seed));
+          RunJob(MakeJob(name, prepared, BenchClusterConfig(prepared, machines, seed)));
       point.num_edges = prepared.num_edges();
       point.edge_wire_bytes = prepared.edge_wire_bytes();
       return point;

@@ -72,7 +72,7 @@ CHAOS_BENCH_MAIN(fig21_stragglers, "Figure 21: straggler severity vs work steali
   Sweep<AlgoResult> sweep;
   for (const double severity : severities) {
     for (const double alpha : {0.0, 1.0}) {
-      sweep.Add([=] { return RunChaosAlgorithm(algo, *g, configure(severity, alpha)); });
+      sweep.Add([=] { return RunJob(MakeJob(algo, *g, configure(severity, alpha))); });
     }
   }
   const std::vector<AlgoResult> results = sweep.Run();

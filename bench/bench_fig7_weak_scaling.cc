@@ -41,7 +41,7 @@ CHAOS_BENCH_MAIN(fig7, "Figure 7: weak scaling, RMAT scale grows with machine co
       sweep.Add([name, scale, m, seed] {
         InputGraph prepared =
             PrepareInput(name, BenchRmat(scale, AlgorithmByName(name).needs_weights, seed));
-        return RunChaosAlgorithm(name, prepared, BenchClusterConfig(prepared, m, seed))
+        return RunJob(MakeJob(name, prepared, BenchClusterConfig(prepared, m, seed)))
             .metrics.total_seconds();
       });
       ++step;

@@ -26,7 +26,7 @@ CHAOS_BENCH_MAIN(fig8, "Figure 8: strong scaling on fixed RMAT graph") {
     for (const int m : MachineSweep()) {
       const std::string name = info.name;
       sweep.Add([name, prepared, m, seed] {
-        return RunChaosAlgorithm(name, *prepared, BenchClusterConfig(*prepared, m, seed))
+        return RunJob(MakeJob(name, *prepared, BenchClusterConfig(*prepared, m, seed)))
             .metrics.total_seconds();
       });
     }

@@ -31,7 +31,7 @@ CHAOS_BENCH_MAIN(fig9, "Figure 9: strong scaling on the web graph from HDDs") {
       sweep.Add([name, prepared, m, seed] {
         // The web graph does not fit on SSDs (§9.2): HDD profile.
         ClusterConfig cfg = BenchClusterConfig(*prepared, m, seed, StorageConfig::Hdd());
-        return RunChaosAlgorithm(name, *prepared, cfg).metrics.total_seconds();
+        return RunJob(MakeJob(name, *prepared, cfg)).metrics.total_seconds();
       });
     }
   }

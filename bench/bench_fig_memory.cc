@@ -60,7 +60,7 @@ CHAOS_BENCH_MAIN(fig_memory, "Graceful degradation under an enforced memory budg
       cfg.alpha = 0.0;
       cfg.memory_enforced = false;  // accounting only: learn the peak
       MemoryPoint point;
-      point.result = RunChaosAlgorithm(name, prepared, cfg);
+      point.result = RunJob(MakeJob(name, prepared, cfg));
       return point;
     });
   }
@@ -80,7 +80,7 @@ CHAOS_BENCH_MAIN(fig_memory, "Graceful degradation under an enforced memory budg
         cfg.alpha = 0.0;
         cfg.pool_budget_bytes = budget;
         MemoryPoint point;
-        point.result = RunChaosAlgorithm(name, prepared, cfg);
+        point.result = RunJob(MakeJob(name, prepared, cfg));
         point.budget = budget;
         return point;
       });

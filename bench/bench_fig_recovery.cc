@@ -83,7 +83,7 @@ CHAOS_BENCH_MAIN(fig_recovery, "Recovery: machine failure vs checkpoint interval
     graphs.push_back(g);
     truth_sweep.Add(
         [algo, g, machines, seed, params] {
-          return RunChaosAlgorithm(algo, *g, BenchClusterConfig(*g, machines, seed), params);
+          return RunJob(MakeJob(algo, *g, BenchClusterConfig(*g, machines, seed), params));
         });
   }
   const std::vector<AlgoResult> truths = truth_sweep.Run();
@@ -113,9 +113,13 @@ CHAOS_BENCH_MAIN(fig_recovery, "Recovery: machine failure vs checkpoint interval
         if (c.rescale) {
           recovery.replacement_machines = machines - 1;
         }
+        JobSpec spec = MakeJob(algo, *g, cfg, params);
+        spec.recover = true;
+        spec.recovery = recovery;
+        JobResult run = RunJob(spec);
         RecoveryPoint point;
-        point.result =
-            RunChaosAlgorithmWithRecovery(algo, *g, cfg, params, recovery, &point.report);
+        point.report = run.recovery;
+        point.result = std::move(static_cast<AlgoResult&>(run));
         return point;
       });
     }

@@ -3,12 +3,16 @@
 //
 //   chaos_bench --list
 //   chaos_bench --bench=fig8 --trials=3 --out=results.json
+//   chaos_bench --bench=micro,fig8,fig_memory --out=baseline.json
 //   chaos_bench --bench=all --out=results.json --jobs=8
 //   chaos_bench --bench=fig8 --scale=14          (extra flags forwarded)
 //
 // Driver-level flags (--bench, --trials, --out, --jobs, --list, --help) are
 // consumed here; everything else is forwarded verbatim to the selected
-// bench, which parses it with the usual Options flag set. --jobs N runs
+// bench, which parses it with the usual Options flag set. With a comma
+// list, forwarded flags go to EVERY listed bench — a flag only one of
+// them registers fails the others, so forward flags only to single-bench
+// invocations. --jobs N runs
 // each bench's sweep points on N host threads (default: hardware
 // concurrency; --jobs 1 is fully sequential) — simulation results are
 // bitwise independent of the setting, only wall_ms changes. The JSON
@@ -187,7 +191,7 @@ std::string ToJson(const std::vector<BenchResult>& results, int trials, int jobs
 
 void PrintUsage(std::FILE* stream, const char* prog) {
   std::fprintf(stream,
-               "usage: %s --bench=<name|all> [--trials=N] [--jobs=N] [--out=FILE] "
+               "usage: %s --bench=<name[,name...]|all> [--trials=N] [--jobs=N] [--out=FILE] "
                "[bench flags...]\n"
                "       %s --list\n"
                "--jobs runs sweep points on N threads (0/default: all cores; results\n"
@@ -269,16 +273,34 @@ int DriverMain(int argc, char** argv) {
   SetSweepJobs(static_cast<int>(jobs_flag));
   const int jobs = SharedSweepExecutor().jobs();
 
+  // --bench accepts a single name, a comma-separated list run in the given
+  // order, or "all" (the sorted registry).
   std::vector<const BenchEntry*> to_run;
   if (bench == "all") {
     to_run = SortedRegistry();
   } else {
-    const BenchEntry* entry = FindBench(bench);
-    if (entry == nullptr) {
-      std::fprintf(stderr, "error: unknown bench '%s'; try --list\n", bench.c_str());
+    size_t pos = 0;
+    while (pos <= bench.size()) {
+      size_t comma = bench.find(',', pos);
+      if (comma == std::string::npos) {
+        comma = bench.size();
+      }
+      const std::string name = bench.substr(pos, comma - pos);
+      pos = comma + 1;
+      if (name.empty()) {
+        continue;
+      }
+      const BenchEntry* entry = FindBench(name);
+      if (entry == nullptr) {
+        std::fprintf(stderr, "error: unknown bench '%s'; try --list\n", name.c_str());
+        return 2;
+      }
+      to_run.push_back(entry);
+    }
+    if (to_run.empty()) {
+      std::fprintf(stderr, "error: --bench lists no benches\n");
       return 2;
     }
-    to_run.push_back(entry);
   }
 
   std::vector<BenchResult> results;

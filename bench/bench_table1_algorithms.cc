@@ -51,7 +51,7 @@ CHAOS_BENCH_MAIN(table1, "Table 1: single-machine runtime, X-Stream vs Chaos") {
 
       Row row;
       row.xstream_s = ToSeconds(RunXStreamAlgorithm(name, prepared, xcfg).total_time);
-      row.chaos_s = RunChaosAlgorithm(name, prepared, ccfg).metrics.total_seconds();
+      row.chaos_s = RunJob(MakeJob(name, prepared, ccfg)).metrics.total_seconds();
       return row;
     });
   }

@@ -23,11 +23,25 @@
 // (results are bitwise independent of the job count — util/parallel.h):
 //   chaos_run --algo pagerank --scale 14 --jobs 8
 //             --sweep "machines=1,2,4,8;chunk-kb=128,256"
+//
+// Serving mode: submit a multi-job trace to the job scheduler
+// (core/job_scheduler.h) instead of running one algorithm alone. Every
+// job goes through the same flag -> JobSpec path the one-shot CLI uses:
+//   chaos_run --trace jobs.txt --policy priority --serve-machines 8
+//       where jobs.txt holds one chaos_run flag line per job, e.g.
+//         --algo bfs --scale 12 --machines 2 --priority 2 --arrival-ms 40
+//         --algo pagerank --scale 14 --machines 4 --arrival-ms 0
+//   chaos_run --trace-preset bursty --trace-jobs 12 --algo wcc --scale 12
+//             --machines 2 --policy priority --quantum 4
 #include <cstdio>
 #include <fstream>
 #include <memory>
+#include <optional>
+#include <string>
+#include <vector>
 
 #include "algorithms/runner.h"
+#include "core/job_trace.h"
 #include "graph/edge_list_io.h"
 #include "graph/generators.h"
 #include "util/logging.h"
@@ -73,25 +87,38 @@ void RegisterFlags(Options& opt) {
   opt.AddString("sweep", "",
                 "semicolon-separated knob lists, e.g. \"machines=1,2,4;chunk-kb=128,256\":"
                 " run the cross product as parallel points");
-  opt.AddInt("jobs", 0, "host threads for --sweep points (0 = all cores)");
+  opt.AddInt("jobs", 0, "host threads for --sweep / --trace points (0 = all cores)");
+  // Per-job scheduling metadata — meaningful under --trace / --trace-preset,
+  // inert in a one-shot run.
+  opt.AddDouble("arrival-ms", 0.0, "job arrival time in simulated ms (serving mode)");
+  opt.AddInt("priority", 0, "job priority (higher runs first under --policy priority)");
+  opt.AddBool("no-preempt", false, "mark this job non-preemptible");
+  opt.AddString("name", "", "job name in the serving report (default: <algo>-<index>)");
+  // Serving mode: many jobs on one scheduled cluster.
+  opt.AddString("trace", "",
+                "file with one chaos_run flag line per job; serves them through the"
+                " job scheduler");
+  opt.AddString("trace-preset", "",
+                "synthetic arrival trace: uniform|bursty|diurnal (jobs shaped by the"
+                " remaining flags, seeds varied per job)");
+  opt.AddInt("trace-jobs", 12, "jobs generated by --trace-preset");
+  opt.AddDouble("trace-horizon-ms", 1000.0, "arrival horizon for --trace-preset");
+  opt.AddDouble("high-fraction", 0.25,
+                "--trace-preset probability a job arrives high-priority");
+  opt.AddString("policy", "priority", "serving scheduler: fifo|priority");
+  opt.AddInt("serve-machines", 8, "machines in the serving cluster");
+  opt.AddInt("serve-mem-mb", 0,
+             "per-machine memory for admission control in MiB (0 = unlimited)");
+  opt.AddInt("quantum", 4, "preemption quantum in supersteps (--policy priority)");
   opt.AddBool("verbose", false, "info-level logging");
 }
 
-struct RunOutcome {
-  int rc = 1;
-  double sim_seconds = 0.0;
-  double preprocess_seconds = 0.0;
-  uint64_t supersteps = 0;
-  uint64_t vertices = 0;
-  uint64_t edges = 0;
-  bool recovered = false;
-};
-
-// One complete simulation driven by a parsed flag set. `quiet` suppresses
-// the detailed per-run narration (sweep points print nothing; the summary
-// table is produced by the caller after the sweep joins).
-RunOutcome RunOnce(const Options& opt, bool quiet) {
-  RunOutcome outcome;
+// Builds the JobSpec a parsed flag set describes: load or generate the
+// input, size the cluster, attach fault injection and recovery. This is the
+// single flag -> JobSpec path: the one-shot CLI, every --sweep point and
+// every --trace line all land here. `serving` rejects per-cluster fault
+// flags — a scheduled job cannot carry its own fault schedule.
+std::optional<JobSpec> BuildJob(const Options& opt, bool quiet, bool serving) {
   const std::string algo = opt.GetString("algo");
   const AlgorithmInfo& info = AlgorithmByName(algo);
   const auto seed = static_cast<uint64_t>(opt.GetInt("seed"));
@@ -107,7 +134,7 @@ RunOutcome RunOnce(const Options& opt, bool quiet) {
     if (!loaded.has_value()) {
       std::fprintf(stderr, "cannot load %s: %s\n", opt.GetString("input").c_str(),
                    error.c_str());
-      return outcome;
+      return std::nullopt;
     }
     raw = std::move(*loaded);
     if (info.needs_weights && !raw.weighted && !quiet) {
@@ -139,17 +166,15 @@ RunOutcome RunOnce(const Options& opt, bool quiet) {
       raw = GenerateUniformRandom(1ull << scale, 16ull << scale, info.needs_weights, seed);
     } else {
       std::fprintf(stderr, "unknown generator '%s'\n", kind.c_str());
-      return outcome;
+      return std::nullopt;
     }
   }
-  InputGraph prepared = PrepareInput(algo, raw);
-  outcome.vertices = prepared.num_vertices;
-  outcome.edges = prepared.num_edges();
+  auto prepared = std::make_shared<const InputGraph>(PrepareInput(algo, raw));
   if (!quiet) {
     std::printf("%s over %llu vertices / %llu edges (%s input)\n", algo.c_str(),
-                static_cast<unsigned long long>(prepared.num_vertices),
-                static_cast<unsigned long long>(prepared.num_edges()),
-                FormatBytes(prepared.input_wire_bytes()).c_str());
+                static_cast<unsigned long long>(prepared->num_vertices),
+                static_cast<unsigned long long>(prepared->num_edges()),
+                FormatBytes(prepared->input_wire_bytes()).c_str());
   }
 
   // ---- Cluster.
@@ -157,7 +182,7 @@ RunOutcome RunOnce(const Options& opt, bool quiet) {
   cfg.machines = static_cast<int>(opt.GetInt("machines"));
   const auto ppm = static_cast<uint64_t>(opt.GetInt("partitions-per-machine"));
   cfg.memory_budget_bytes = std::max<uint64_t>(
-      prepared.num_vertices * 48 / (ppm * static_cast<uint64_t>(cfg.machines)) + 1, 4 << 10);
+      prepared->num_vertices * 48 / (ppm * static_cast<uint64_t>(cfg.machines)) + 1, 4 << 10);
   cfg.chunk_bytes = static_cast<uint64_t>(opt.GetInt("chunk-kb")) << 10;
   if (opt.GetInt("mem-mb") > 0) {
     // Squeeze the enforced buffer-pool budget without touching the
@@ -179,21 +204,28 @@ RunOutcome RunOnce(const Options& opt, bool quiet) {
 
   // ---- Fault injection.
   const auto victim = static_cast<MachineId>(opt.GetInt("straggler"));
+  const auto kill_machine = static_cast<MachineId>(opt.GetInt("kill-machine"));
+  if (serving && (victim >= 0 || kill_machine >= 0)) {
+    std::fprintf(stderr,
+                 "--straggler/--kill-machine cannot be set on a scheduled job "
+                 "(fault injection is per-cluster; run those one-shot)\n");
+    return std::nullopt;
+  }
   if (victim >= 0) {
     if (victim >= cfg.machines) {
       std::fprintf(stderr, "--straggler must be in [0, %d)\n", cfg.machines);
-      return outcome;
+      return std::nullopt;
     }
     FaultTarget target = FaultTarget::kCpu;
     if (!ParseFaultTarget(opt.GetString("straggler-target"), &target)) {
       std::fprintf(stderr, "unknown --straggler-target '%s'\n",
                    opt.GetString("straggler-target").c_str());
-      return outcome;
+      return std::nullopt;
     }
     const double severity = opt.GetDouble("straggler-severity");
     if (severity < 1.0) {
       std::fprintf(stderr, "--straggler-severity must be >= 1\n");
-      return outcome;
+      return std::nullopt;
     }
     FaultEvent fault;
     fault.machine = victim;
@@ -210,16 +242,15 @@ RunOutcome RunOnce(const Options& opt, bool quiet) {
   }
 
   // ---- Machine failure + automatic recovery.
-  const auto kill_machine = static_cast<MachineId>(opt.GetInt("kill-machine"));
   RecoveryOptions recovery;
   if (kill_machine >= 0) {
     if (kill_machine >= cfg.machines) {
       std::fprintf(stderr, "--kill-machine must be in [0, %d)\n", cfg.machines);
-      return outcome;
+      return std::nullopt;
     }
     if (opt.GetBool("rescale") && cfg.machines < 2) {
       std::fprintf(stderr, "--rescale needs at least 2 machines (cannot shrink below 1)\n");
-      return outcome;
+      return std::nullopt;
     }
     FaultEvent kill;
     kill.at = static_cast<TimeNs>(opt.GetDouble("kill-at") * static_cast<double>(kNsPerSec));
@@ -241,11 +272,42 @@ RunOutcome RunOnce(const Options& opt, bool quiet) {
   AlgoParams params;
   params.source = static_cast<VertexId>(opt.GetInt("source"));
   params.iterations = static_cast<uint32_t>(opt.GetInt("iterations"));
-  RecoveryReport recovery_report;
-  auto result = kill_machine >= 0
-                    ? RunChaosAlgorithmWithRecovery(algo, prepared, cfg, params, recovery,
-                                                    &recovery_report)
-                    : RunChaosAlgorithm(algo, prepared, cfg, params);
+  JobSpec spec = MakeJob(algo, std::move(prepared), cfg, params);
+  if (kill_machine >= 0) {
+    spec.recover = true;
+    spec.recovery = recovery;
+  }
+  spec.name = opt.GetString("name");
+  spec.priority = static_cast<int>(opt.GetInt("priority"));
+  spec.arrival = static_cast<TimeNs>(opt.GetDouble("arrival-ms") * kNsPerMs);
+  spec.preemptible = !opt.GetBool("no-preempt");
+  return spec;
+}
+
+struct RunOutcome {
+  int rc = 1;
+  double sim_seconds = 0.0;
+  double preprocess_seconds = 0.0;
+  uint64_t supersteps = 0;
+  uint64_t vertices = 0;
+  uint64_t edges = 0;
+  bool recovered = false;
+};
+
+// One complete simulation driven by a parsed flag set. `quiet` suppresses
+// the detailed per-run narration (sweep points print nothing; the summary
+// table is produced by the caller after the sweep joins).
+RunOutcome RunOnce(const Options& opt, bool quiet) {
+  RunOutcome outcome;
+  std::optional<JobSpec> spec = BuildJob(opt, quiet, /*serving=*/false);
+  if (!spec.has_value()) {
+    return outcome;
+  }
+  outcome.vertices = spec->input->num_vertices;
+  outcome.edges = spec->input->num_edges();
+
+  JobResult result = RunJob(*spec);
+  const RecoveryReport& recovery_report = result.recovery;
   outcome.sim_seconds = result.metrics.total_seconds();
   outcome.preprocess_seconds = ToSeconds(result.metrics.preprocess_time);
   outcome.supersteps = result.supersteps;
@@ -257,7 +319,7 @@ RunOutcome RunOnce(const Options& opt, bool quiet) {
     return outcome;
   }
   std::printf("\n%s", result.metrics.Summary().c_str());
-  if (kill_machine >= 0) {
+  if (spec->recover) {
     if (!recovery_report.crash_detected) {
       std::printf("machine failure never fired (run finished at %.3fs, before --kill-at)\n",
                   ToSeconds(result.metrics.total_time));
@@ -274,6 +336,7 @@ RunOutcome RunOnce(const Options& opt, bool quiet) {
     }
   }
   std::printf("supersteps: %llu\n", static_cast<unsigned long long>(result.supersteps));
+  const std::string& algo = spec->algorithm;
   if (algo == "conductance") {
     std::printf("conductance: %.6f\n", result.scalar);
   }
@@ -283,14 +346,197 @@ RunOutcome RunOnce(const Options& opt, bool quiet) {
   }
   if (!opt.GetString("out").empty()) {
     std::ofstream out(opt.GetString("out"), std::ios::trunc);
-    for (VertexId v = 0; v < prepared.num_vertices; ++v) {
+    for (VertexId v = 0; v < spec->input->num_vertices; ++v) {
       out << v << ' ' << result.values[v] << '\n';
     }
     std::printf("wrote %llu values to %s\n",
-                static_cast<unsigned long long>(prepared.num_vertices),
+                static_cast<unsigned long long>(spec->input->num_vertices),
                 opt.GetString("out").c_str());
   }
   return outcome;
+}
+
+// ---- Serving mode (--trace / --trace-preset).
+
+std::vector<std::string> SplitTokens(const std::string& line) {
+  std::vector<std::string> tokens;
+  size_t pos = 0;
+  while (pos < line.size()) {
+    while (pos < line.size() && (line[pos] == ' ' || line[pos] == '\t')) {
+      ++pos;
+    }
+    size_t end = pos;
+    while (end < line.size() && line[end] != ' ' && line[end] != '\t') {
+      ++end;
+    }
+    if (end > pos) {
+      tokens.push_back(line.substr(pos, end - pos));
+    }
+    pos = end;
+  }
+  return tokens;
+}
+
+// Re-parses `tokens` on top of a copy of the base flag set, so a trace line
+// inherits every flag it does not override — the exact mechanism --sweep
+// points use.
+std::optional<Options> ParseOverrides(const Options& base, std::vector<std::string> tokens,
+                                      std::string* error) {
+  Options opt = base;
+  std::vector<char*> argv;
+  argv.reserve(tokens.size());
+  for (std::string& t : tokens) {
+    argv.push_back(t.data());
+  }
+  if (auto err = opt.Parse(static_cast<int>(argv.size()), argv.data())) {
+    *error = *err;
+    return std::nullopt;
+  }
+  return opt;
+}
+
+// Reads one JobSpec per non-empty, non-comment line of `path`; each line is
+// a chaos_run flag list layered over the base flags.
+bool LoadTraceFile(const Options& base, const std::string& path,
+                   std::vector<JobSpec>* specs) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open --trace file %s\n", path.c_str());
+    return false;
+  }
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::vector<std::string> tokens = SplitTokens(line);
+    if (tokens.empty() || tokens[0][0] == '#') {
+      continue;
+    }
+    std::string error;
+    std::optional<Options> job_opt = ParseOverrides(base, std::move(tokens), &error);
+    if (!job_opt.has_value()) {
+      std::fprintf(stderr, "%s:%d: %s\n", path.c_str(), lineno, error.c_str());
+      return false;
+    }
+    std::optional<JobSpec> spec = BuildJob(*job_opt, /*quiet=*/true, /*serving=*/true);
+    if (!spec.has_value()) {
+      std::fprintf(stderr, "%s:%d: bad job spec\n", path.c_str(), lineno);
+      return false;
+    }
+    specs->push_back(std::move(*spec));
+  }
+  return true;
+}
+
+// Synthesizes a trace from a preset: arrivals and priorities from
+// core/job_trace.h, job shape from the base flags with the per-entry
+// derived seed layered on top (still the one flag -> JobSpec path).
+bool GeneratePresetTrace(const Options& base, TracePreset preset,
+                         std::vector<JobSpec>* specs) {
+  TraceOptions topt;
+  topt.preset = preset;
+  topt.num_jobs = static_cast<int>(base.GetInt("trace-jobs"));
+  topt.horizon = static_cast<TimeNs>(base.GetDouble("trace-horizon-ms") * kNsPerMs);
+  topt.seed = static_cast<uint64_t>(base.GetInt("seed"));
+  topt.high_fraction = base.GetDouble("high-fraction");
+  for (const TraceEntry& entry : GenerateTrace(topt)) {
+    // The derived seed is folded to 31 bits so it round-trips through the
+    // int flag; per-job variety is all it needs to provide.
+    std::string error;
+    std::optional<Options> job_opt = ParseOverrides(
+        base, {"--seed=" + std::to_string(entry.seed & 0x7fffffff)}, &error);
+    if (!job_opt.has_value()) {
+      std::fprintf(stderr, "--trace-preset: %s\n", error.c_str());
+      return false;
+    }
+    std::optional<JobSpec> spec = BuildJob(*job_opt, /*quiet=*/true, /*serving=*/true);
+    if (!spec.has_value()) {
+      return false;
+    }
+    spec->arrival = entry.arrival;
+    spec->priority = entry.priority;
+    specs->push_back(std::move(*spec));
+  }
+  return true;
+}
+
+int RunTrace(const Options& opt) {
+  const std::optional<SchedPolicy> policy = SchedPolicyByName(opt.GetString("policy"));
+  if (!policy.has_value()) {
+    std::fprintf(stderr, "unknown --policy '%s' (want fifo|priority)\n",
+                 opt.GetString("policy").c_str());
+    return 1;
+  }
+
+  std::vector<JobSpec> specs;
+  if (!opt.GetString("trace").empty()) {
+    if (!LoadTraceFile(opt, opt.GetString("trace"), &specs)) {
+      return 1;
+    }
+  } else {
+    const auto preset = TracePresetByName(opt.GetString("trace-preset"));
+    if (!preset.has_value()) {
+      std::fprintf(stderr, "unknown --trace-preset '%s' (want uniform|bursty|diurnal)\n",
+                   opt.GetString("trace-preset").c_str());
+      return 1;
+    }
+    if (!GeneratePresetTrace(opt, *preset, &specs)) {
+      return 1;
+    }
+  }
+  if (specs.empty()) {
+    std::fprintf(stderr, "trace holds no jobs\n");
+    return 1;
+  }
+  for (size_t i = 0; i < specs.size(); ++i) {
+    if (specs[i].name.empty()) {
+      specs[i].name = specs[i].algorithm + "-" + std::to_string(i);
+    }
+  }
+
+  ServingConfig serving;
+  serving.machines = static_cast<int>(opt.GetInt("serve-machines"));
+  serving.machine_memory_bytes = static_cast<uint64_t>(opt.GetInt("serve-mem-mb")) << 20;
+  serving.policy = *policy;
+  serving.preempt_quantum = static_cast<uint64_t>(opt.GetInt("quantum"));
+  serving.jobs = static_cast<int>(opt.GetInt("jobs"));
+
+  std::printf("serving %zu job(s) on %d machines, policy %s, quantum %llu\n", specs.size(),
+              serving.machines, SchedPolicyName(serving.policy),
+              static_cast<unsigned long long>(serving.preempt_quantum));
+  const TraceRunResult run = RunJobTrace(specs, serving);
+
+  std::printf("%-16s %4s %10s %10s %10s %10s %7s %8s %7s\n", "job", "prio", "arrive(s)",
+              "start(s)", "done(s)", "latency(s)", "slices", "preempts", "status");
+  int rc = 0;
+  for (size_t i = 0; i < specs.size(); ++i) {
+    const JobSchedStats& s = run.jobs[i].sched;
+    if (!s.admitted) {
+      std::printf("%-16s %4d %10.3f %10s %10s %10s %7s %8s %7s\n", specs[i].name.c_str(),
+                  specs[i].priority, ToSeconds(specs[i].arrival), "-", "-", "-", "-", "-",
+                  "REJECT");
+      rc = 1;
+      continue;
+    }
+    std::printf("%-16s %4d %10.3f %10.3f %10.3f %10.3f %7llu %8llu %7s\n",
+                specs[i].name.c_str(), specs[i].priority, ToSeconds(s.arrival),
+                ToSeconds(s.first_dispatch), ToSeconds(s.completion),
+                ToSeconds(s.latency()), static_cast<unsigned long long>(s.slices),
+                static_cast<unsigned long long>(s.preemptions),
+                s.completed ? "ok" : "FAIL");
+    rc = std::max(rc, s.completed ? 0 : 1);
+  }
+  std::printf(
+      "\nmakespan %.3fs, utilization %.2f, %d dispatch(es), %d preemption(s), "
+      "%d rejected\n",
+      ToSeconds(run.metrics.makespan), run.metrics.utilization, run.metrics.dispatches,
+      run.metrics.preemptions, run.metrics.rejected);
+  if (opt.GetBool("verbose")) {
+    for (const SchedEvent& event : run.events) {
+      std::printf("  %s\n", event.ToString().c_str());
+    }
+  }
+  return rc;
 }
 
 // ---- Sweep mode.
@@ -367,17 +613,13 @@ int RunSweep(const Options& base, const std::vector<SweepKnob>& knobs, int jobs)
       args.push_back("--" + knob.name + "=" + value);
       label = knob.name + "=" + value + (label.empty() ? "" : " ") + label;
     }
-    Point point{base, std::move(label)};
-    std::vector<char*> argv;
-    argv.reserve(args.size());
-    for (auto& a : args) {
-      argv.push_back(a.data());
-    }
-    if (auto err = point.opt.Parse(static_cast<int>(argv.size()), argv.data())) {
-      std::fprintf(stderr, "--sweep knob rejected: %s\n", err->c_str());
+    std::string error;
+    std::optional<Options> parsed = ParseOverrides(base, std::move(args), &error);
+    if (!parsed.has_value()) {
+      std::fprintf(stderr, "--sweep knob rejected: %s\n", error.c_str());
       return 1;
     }
-    grid.push_back(std::move(point));
+    grid.push_back(Point{std::move(*parsed), std::move(label)});
   }
 
   SweepExecutor executor(jobs);  // <= 0 = all cores; executor normalizes
@@ -414,6 +656,15 @@ int main(int argc, char** argv) {
   }
   if (opt.GetBool("verbose")) {
     SetLogLevel(LogLevel::kInfo);
+  }
+  const bool trace_mode =
+      !opt.GetString("trace").empty() || !opt.GetString("trace-preset").empty();
+  if (trace_mode && !opt.GetString("sweep").empty()) {
+    std::fprintf(stderr, "--sweep and --trace/--trace-preset are mutually exclusive\n");
+    return 1;
+  }
+  if (trace_mode) {
+    return RunTrace(opt);
   }
   if (!opt.GetString("sweep").empty()) {
     std::vector<SweepKnob> knobs;

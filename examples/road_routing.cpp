@@ -44,7 +44,7 @@ int main(int argc, char** argv) {
   // Shortest travel distances from the north-west corner.
   AlgoParams params;
   params.source = 0;
-  auto sssp = RunChaosAlgorithm("sssp", roads, config, params);
+  auto sssp = RunJob(MakeJob("sssp", roads, config, params));
   const VertexId far_corner = roads.num_vertices - 1;
   std::printf("\nshortest paths from corner (SSSP, %llu supersteps, %s simulated):\n",
               static_cast<unsigned long long>(sssp.supersteps),
@@ -57,7 +57,7 @@ int main(int argc, char** argv) {
   std::printf("  farthest intersection: %.1f km\n", max_finite);
 
   // Cheapest road subset keeping everything connected (MSF).
-  auto msf = RunChaosAlgorithm("mcst", PrepareInput("mcst", roads), config);
+  auto msf = RunJob(MakeJob("mcst", PrepareInput("mcst", roads), config));
   std::printf("\nminimum spanning road network (MCST, %llu supersteps, %s):\n",
               static_cast<unsigned long long>(msf.supersteps),
               FormatSeconds(msf.metrics.total_seconds()).c_str());

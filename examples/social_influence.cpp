@@ -43,7 +43,7 @@ int main(int argc, char** argv) {
   config.chunk_bytes = 64 << 10;
 
   // --- Influencers: PageRank over the directed follow graph.
-  auto pr = RunChaosAlgorithm("pagerank", PrepareInput("pagerank", follows), config);
+  auto pr = RunJob(MakeJob("pagerank", PrepareInput("pagerank", follows), config));
   std::vector<VertexId> order(follows.num_vertices);
   std::iota(order.begin(), order.end(), VertexId{0});
   std::partial_sort(order.begin(), order.begin() + 5, order.end(),
@@ -57,7 +57,7 @@ int main(int argc, char** argv) {
   }
 
   // --- Communities: weakly connected components of the friendship graph.
-  auto wcc = RunChaosAlgorithm("wcc", PrepareInput("wcc", follows), config);
+  auto wcc = RunJob(MakeJob("wcc", PrepareInput("wcc", follows), config));
   std::map<double, uint64_t> sizes;
   for (const double label : wcc.values) {
     sizes[label]++;
@@ -74,7 +74,7 @@ int main(int argc, char** argv) {
                   static_cast<double>(follows.num_vertices));
 
   // --- Seed set: maximal independent set = pairwise non-adjacent users.
-  auto mis = RunChaosAlgorithm("mis", PrepareInput("mis", follows), config);
+  auto mis = RunJob(MakeJob("mis", PrepareInput("mis", follows), config));
   const auto seeds = static_cast<uint64_t>(
       std::count_if(mis.values.begin(), mis.values.end(), [](double v) { return v > 0.5; }));
   std::printf("\nseed set (MIS, %s, %llu rounds): %llu users, none adjacent\n",

@@ -46,7 +46,7 @@ int main(int argc, char** argv) {
 
   AlgoParams params;
   params.source = static_cast<VertexId>(opt.GetInt("seed-page"));
-  auto bfs = RunChaosAlgorithm("bfs", PrepareInput("bfs", web), config, params);
+  auto bfs = RunJob(MakeJob("bfs", PrepareInput("bfs", web), config, params));
 
   std::map<int64_t, uint64_t> by_depth;
   uint64_t reached = 0;
@@ -72,7 +72,7 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(web.num_vertices),
               100.0 * static_cast<double>(reached) / static_cast<double>(web.num_vertices));
 
-  auto cond = RunChaosAlgorithm("conductance", PrepareInput("conductance", web), config);
+  auto cond = RunJob(MakeJob("conductance", PrepareInput("conductance", web), config));
   std::printf("\nconductance of the odd/even page split: %.4f (%s)\n", cond.scalar,
               FormatSeconds(cond.metrics.total_seconds()).c_str());
   std::printf("I/O moved for both runs: %s\n",

@@ -1,9 +1,12 @@
 #include "algorithms/runner.h"
 
+#include <utility>
+
 #include "algorithms/basic.h"
 #include "algorithms/mcst.h"
 #include "algorithms/mis.h"
 #include "algorithms/scc.h"
+#include "core/job_execution.h"
 
 namespace chaos {
 namespace {
@@ -73,6 +76,15 @@ AlgoResult RunChaosWith(P prog, const InputGraph& input, const ClusterConfig& co
   return ToAlgoResult(cluster.Run(input));
 }
 
+// The RunResult<P> -> AlgoResult conversion, packaged for injection into
+// core's TypedJobExecution (which cannot name program types itself).
+struct FinalizeToAlgoResult {
+  template <GasProgram P>
+  AlgoResult operator()(RunResult<P>&& run) const {
+    return ToAlgoResult(std::move(run));
+  }
+};
+
 template <GasProgram P>
 XStreamRunResult RunXStreamWith(P prog, const InputGraph& input, const XStreamConfig& config) {
   XStreamEngine<P> engine(config, std::move(prog));
@@ -134,20 +146,82 @@ InputGraph PrepareInput(const std::string& name, const InputGraph& raw) {
   return raw;
 }
 
+JobResult RunJob(const JobSpec& spec) {
+  CHAOS_CHECK_MSG(spec.input != nullptr, "JobSpec without an input graph");
+  JobResult result;
+  AlgoResult algo = DispatchAlgorithm(spec.algorithm, spec.params, [&](auto prog) {
+    if (spec.recover) {
+      return ToAlgoResult(
+          RunWithRecovery(spec.cluster, std::move(prog), *spec.input, spec.recovery,
+                          &result.recovery));
+    }
+    return RunChaosWith(std::move(prog), *spec.input, spec.cluster);
+  });
+  static_cast<AlgoResult&>(result) = std::move(algo);
+  // Synthesize the trivial schedule of an isolated run: dispatched on
+  // arrival, one slice, no queueing.
+  result.sched.admitted = true;
+  result.sched.completed = !result.crashed;
+  result.sched.arrival = spec.arrival;
+  result.sched.first_dispatch = spec.arrival;
+  result.sched.service_time =
+      spec.recover ? result.recovery.end_to_end_time : result.metrics.total_time;
+  result.sched.completion = spec.arrival + result.sched.service_time;
+  result.sched.supersteps = result.supersteps;
+  result.sched.slices = 1;
+  result.sched.machines = spec.cluster.machines;
+  return result;
+}
+
+std::unique_ptr<JobExecution> MakeJobExecution(const JobSpec& spec) {
+  CHAOS_CHECK_MSG(spec.input != nullptr, "JobSpec without an input graph");
+  return DispatchAlgorithm(spec.algorithm, spec.params,
+                           [&](auto prog) -> std::unique_ptr<JobExecution> {
+                             return MakeTypedJobExecution(spec, std::move(prog),
+                                                          FinalizeToAlgoResult{});
+                           });
+}
+
+TraceRunResult RunJobTrace(const std::vector<JobSpec>& specs, const ServingConfig& serving) {
+  std::vector<std::unique_ptr<JobExecution>> executions;
+  executions.reserve(specs.size());
+  std::vector<JobExecution*> handles;
+  handles.reserve(specs.size());
+  for (const JobSpec& spec : specs) {
+    executions.push_back(MakeJobExecution(spec));
+    handles.push_back(executions.back().get());
+  }
+  ScheduleResult schedule = RunJobSchedule(serving, handles);
+  TraceRunResult out;
+  out.metrics = schedule.metrics;
+  out.events = std::move(schedule.events);
+  out.jobs.resize(specs.size());
+  for (size_t i = 0; i < specs.size(); ++i) {
+    out.jobs[i].sched = schedule.jobs[i];
+    if (schedule.jobs[i].completed) {
+      static_cast<AlgoResult&>(out.jobs[i]) = executions[i]->TakeResult();
+    }
+  }
+  return out;
+}
+
 AlgoResult RunChaosAlgorithm(const std::string& name, const InputGraph& prepared,
                              const ClusterConfig& config, const AlgoParams& params) {
-  return DispatchAlgorithm(name, params, [&](auto prog) {
-    return RunChaosWith(std::move(prog), prepared, config);
-  });
+  return RunJob(MakeJob(name, prepared, config, params));
 }
 
 AlgoResult RunChaosAlgorithmWithRecovery(const std::string& name, const InputGraph& prepared,
                                          const ClusterConfig& config, const AlgoParams& params,
                                          const RecoveryOptions& recovery,
                                          RecoveryReport* report) {
-  return DispatchAlgorithm(name, params, [&](auto prog) {
-    return ToAlgoResult(RunWithRecovery(config, std::move(prog), prepared, recovery, report));
-  });
+  JobSpec spec = MakeJob(name, prepared, config, params);
+  spec.recover = true;
+  spec.recovery = recovery;
+  JobResult result = RunJob(spec);
+  if (report != nullptr) {
+    *report = result.recovery;
+  }
+  return std::move(static_cast<AlgoResult&>(result));
 }
 
 XStreamRunResult RunXStreamAlgorithm(const std::string& name, const InputGraph& prepared,

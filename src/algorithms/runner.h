@@ -1,25 +1,26 @@
 // Type-erased entry points over the ten GAS benchmark algorithms, used by
 // tests, benches and examples that sweep algorithms by name.
+//
+// The unified entry point is RunJob(JobSpec): one spec describes the
+// algorithm, the prepared input, the cluster shape, optional recovery mode
+// and the scheduling metadata — the same unit the serving layer
+// (core/job_scheduler.h) enqueues, and the same struct the chaos_run CLI
+// builds from its flags. Build specs with MakeJob (core/job_spec.h).
 #ifndef CHAOS_ALGORITHMS_RUNNER_H_
 #define CHAOS_ALGORITHMS_RUNNER_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "baselines/xstream.h"
 #include "core/cluster.h"
+#include "core/job_scheduler.h"
+#include "core/job_spec.h"
 #include "core/recovery.h"
 #include "graph/types.h"
 
 namespace chaos {
-
-// Per-algorithm knobs; unused fields are ignored.
-struct AlgoParams {
-  VertexId source = 0;      // bfs, sssp
-  uint32_t iterations = 5;  // pagerank, bp
-  float damping = 0.85f;    // pagerank
-  float bp_damping = 0.5f;  // bp
-};
 
 struct AlgorithmInfo {
   std::string name;
@@ -36,26 +37,46 @@ const AlgorithmInfo& AlgorithmByName(const std::string& name);
 // the named algorithm. Weighted inputs keep their weights.
 InputGraph PrepareInput(const std::string& name, const InputGraph& raw);
 
-struct AlgoResult {
-  RunMetrics metrics;
-  std::vector<double> values;  // Extract() per vertex
-  double scalar = 0.0;         // conductance value / MSF total weight
-  uint64_t output_records = 0; // MSF edges emitted
-  uint64_t supersteps = 0;
-  bool crashed = false;
+// Everything one job produced: the algorithm result, plus the recovery
+// timeline (when spec.recover) and the scheduling outcome (when the job ran
+// under RunJobTrace; synthesized trivially for single-job RunJob).
+struct JobResult : AlgoResult {
+  RecoveryReport recovery;
+  JobSchedStats sched;
 };
 
-// Runs the named algorithm on a Chaos cluster. `prepared` must already have
-// gone through PrepareInput.
+// Runs one job to completion on its own cluster. `spec.input` must already
+// have gone through PrepareInput for `spec.algorithm`. With spec.recover,
+// the run goes through the machine-failure recovery driver
+// (core/recovery.h) and the report lands in JobResult::recovery.
+JobResult RunJob(const JobSpec& spec);
+
+// Result of serving a multi-job trace through the job scheduler.
+struct TraceRunResult {
+  std::vector<JobResult> jobs;  // submission order; rejected jobs carry only
+                                // sched (admitted = false)
+  ServingMetrics metrics;
+  std::vector<SchedEvent> events;
+};
+
+// Serves `specs` on one simulated cluster under `serving`'s policy: admission
+// control, placement, priority and quantum preemption per
+// core/job_scheduler.h. Scheduled specs must not set recover or inject
+// faults. Deterministic: bitwise independent of serving.jobs, and each job's
+// values are bitwise equal to its isolated RunJob result.
+TraceRunResult RunJobTrace(const std::vector<JobSpec>& specs, const ServingConfig& serving);
+
+// Type-erases `spec` into the slice-wise execution handle the scheduler
+// drives (core/job_execution.h), binding the program type by name.
+std::unique_ptr<JobExecution> MakeJobExecution(const JobSpec& spec);
+
+// Deprecated single-algorithm entry points, kept as shims over RunJob. New
+// code must not call these outside runner.{h,cc} (CI greps for violations).
+[[deprecated("use RunJob(MakeJob(...))")]]
 AlgoResult RunChaosAlgorithm(const std::string& name, const InputGraph& prepared,
                              const ClusterConfig& config, const AlgoParams& params = {});
 
-// Same, but with automatic machine-failure recovery (core/recovery.h): if
-// the run aborts on a fault-injected MachineCrash, a replacement cluster —
-// same size, or `recovery.replacement_machines` — is re-provisioned from
-// the last committed checkpoint and the run resumes. The returned metrics
-// carry the recovery accounting; `report`, when non-null, gets the full
-// timeline.
+[[deprecated("use RunJob with JobSpec::recover")]]
 AlgoResult RunChaosAlgorithmWithRecovery(const std::string& name, const InputGraph& prepared,
                                          const ClusterConfig& config,
                                          const AlgoParams& params = {},

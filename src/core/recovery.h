@@ -20,30 +20,9 @@
 #include <utility>
 
 #include "core/cluster.h"
+#include "core/job_spec.h"  // RecoveryOptions / RecoveryReport live there now
 
 namespace chaos {
-
-struct RecoveryOptions {
-  // Replacement cluster size after a crash: 0 = same as the original
-  // (the failed machine is swapped for a spare); otherwise the new machine
-  // count, e.g. machines - 1 when the survivors absorb the work. Rescaled
-  // recovery repartitions vertex ranges and re-bins edge sets.
-  int replacement_machines = 0;
-};
-
-// How a recovered run unfolded, for reporting and benches. Times are
-// simulated cluster times.
-struct RecoveryReport {
-  bool crash_detected = false;
-  bool recovered_from_checkpoint = false;  // false: restarted from the input
-  uint64_t crash_superstep = 0;            // superstep the failure aborted
-  uint64_t resume_superstep = 0;           // checkpoint the restart used
-  uint64_t lost_work_supersteps = 0;       // supersteps that had to be re-run
-  TimeNs crashed_run_time = 0;   // sim time spent in the aborted run
-  TimeNs time_to_recover = 0;    // takeover until the crash point re-reached
-  TimeNs end_to_end_time = 0;    // aborted run + full replacement run
-  int machines_after = 0;        // replacement cluster size
-};
 
 // Runs `prog` over `input` on a cluster configured by `config`; on a
 // machine-failure abort, re-provisions and resumes from the last committed

@@ -36,7 +36,7 @@ InputGraph SmallRmat(uint64_t seed, bool weighted = false, uint32_t scale = 8) {
 
 TEST(MisTest, ProducesMaximalIndependentSet) {
   InputGraph g = PrepareInput("mis", SmallRmat(3));
-  auto result = RunChaosAlgorithm("mis", g, SmallConfig(4));
+  auto result = RunJob(MakeJob("mis", g, SmallConfig(4)));
   std::vector<uint8_t> in_set(g.num_vertices);
   for (VertexId v = 0; v < g.num_vertices; ++v) {
     in_set[v] = result.values[v] > 0.5 ? 1 : 0;
@@ -46,16 +46,16 @@ TEST(MisTest, ProducesMaximalIndependentSet) {
 
 TEST(MisTest, IndependentOfMachineCount) {
   InputGraph g = PrepareInput("mis", SmallRmat(5));
-  auto base = RunChaosAlgorithm("mis", g, SmallConfig(1));
+  auto base = RunJob(MakeJob("mis", g, SmallConfig(1)));
   for (const int machines : {2, 8}) {
-    auto result = RunChaosAlgorithm("mis", g, SmallConfig(machines));
+    auto result = RunJob(MakeJob("mis", g, SmallConfig(machines)));
     EXPECT_EQ(result.values, base.values) << "machines=" << machines;
   }
 }
 
 TEST(MisTest, SparseGraphManyRounds) {
   InputGraph g = PrepareInput("mis", GenerateUniformRandom(500, 400, false, 7));
-  auto result = RunChaosAlgorithm("mis", g, SmallConfig(2));
+  auto result = RunJob(MakeJob("mis", g, SmallConfig(2)));
   std::vector<uint8_t> in_set(g.num_vertices);
   for (VertexId v = 0; v < g.num_vertices; ++v) {
     in_set[v] = result.values[v] > 0.5 ? 1 : 0;
@@ -89,7 +89,7 @@ std::vector<uint32_t> ToGroupIds(const std::vector<double>& values) {
 TEST(SccTest, MatchesTarjanOnRandomDigraph) {
   InputGraph raw = GenerateUniformRandom(300, 900, false, 11);
   InputGraph prepared = PrepareInput("scc", raw);
-  auto result = RunChaosAlgorithm("scc", prepared, SmallConfig(4));
+  auto result = RunJob(MakeJob("scc", prepared, SmallConfig(4)));
   auto expect = ref::StronglyConnectedComponents(raw);
   EXPECT_TRUE(ref::SamePartition(ToGroupIds(result.values), expect));
 }
@@ -108,7 +108,7 @@ TEST(SccTest, CycleChainAndSingletons) {
   add(4, 5);
   add(5, 3);
   add(2, 3);  // bridge
-  auto result = RunChaosAlgorithm("scc", PrepareInput("scc", raw), SmallConfig(2));
+  auto result = RunJob(MakeJob("scc", PrepareInput("scc", raw), SmallConfig(2)));
   auto expect = ref::StronglyConnectedComponents(raw);
   EXPECT_TRUE(ref::SamePartition(ToGroupIds(result.values), expect));
 }
@@ -116,14 +116,14 @@ TEST(SccTest, CycleChainAndSingletons) {
 TEST(SccTest, IndependentOfMachineCount) {
   InputGraph raw = GenerateUniformRandom(200, 600, false, 13);
   InputGraph prepared = PrepareInput("scc", raw);
-  auto base = RunChaosAlgorithm("scc", prepared, SmallConfig(1));
-  auto multi = RunChaosAlgorithm("scc", prepared, SmallConfig(8));
+  auto base = RunJob(MakeJob("scc", prepared, SmallConfig(1)));
+  auto multi = RunJob(MakeJob("scc", prepared, SmallConfig(8)));
   EXPECT_EQ(base.values, multi.values);
 }
 
 TEST(SccTest, DenseRmatDigraph) {
   InputGraph raw = SmallRmat(17);
-  auto result = RunChaosAlgorithm("scc", PrepareInput("scc", raw), SmallConfig(4));
+  auto result = RunJob(MakeJob("scc", PrepareInput("scc", raw), SmallConfig(4)));
   auto expect = ref::StronglyConnectedComponents(raw);
   EXPECT_TRUE(ref::SamePartition(ToGroupIds(result.values), expect));
 }
@@ -133,7 +133,7 @@ TEST(SccTest, DenseRmatDigraph) {
 TEST(McstTest, MatchesKruskalWeight) {
   InputGraph raw = SmallRmat(19, /*weighted=*/true, /*scale=*/7);
   InputGraph prepared = PrepareInput("mcst", raw);
-  auto result = RunChaosAlgorithm("mcst", prepared, SmallConfig(4));
+  auto result = RunJob(MakeJob("mcst", prepared, SmallConfig(4)));
   auto expect = ref::KruskalMsf(prepared);
   EXPECT_EQ(result.output_records, expect.num_edges);
   EXPECT_NEAR(result.scalar, expect.total_weight, 1e-2);
@@ -142,7 +142,7 @@ TEST(McstTest, MatchesKruskalWeight) {
 TEST(McstTest, ForestOnDisconnectedGraph) {
   InputGraph raw = GenerateUniformRandom(200, 150, true, 23);
   InputGraph prepared = PrepareInput("mcst", raw);
-  auto result = RunChaosAlgorithm("mcst", prepared, SmallConfig(2));
+  auto result = RunJob(MakeJob("mcst", prepared, SmallConfig(2)));
   auto expect = ref::KruskalMsf(prepared);
   EXPECT_EQ(result.output_records, expect.num_edges);
   EXPECT_NEAR(result.scalar, expect.total_weight, 1e-2);
@@ -165,7 +165,7 @@ TEST(McstTest, PathGraphPicksAllEdges) {
     raw.edges.push_back(Edge{v, v + 1, 1.0f + static_cast<float>(v), kEdgeForward});
   }
   InputGraph prepared = PrepareInput("mcst", raw);
-  auto result = RunChaosAlgorithm("mcst", prepared, SmallConfig(2));
+  auto result = RunJob(MakeJob("mcst", prepared, SmallConfig(2)));
   EXPECT_EQ(result.output_records, raw.num_vertices - 1);
 }
 
@@ -176,7 +176,7 @@ TEST(McstTest, IndependentOfMachineCountAndSteal) {
   for (const int machines : {1, 4}) {
     ClusterConfig cfg = SmallConfig(machines);
     cfg.alpha = machines == 1 ? 0.0 : std::numeric_limits<double>::infinity();
-    auto result = RunChaosAlgorithm("mcst", prepared, cfg);
+    auto result = RunJob(MakeJob("mcst", prepared, cfg));
     EXPECT_EQ(result.output_records, expect.num_edges) << "machines=" << machines;
     EXPECT_NEAR(result.scalar, expect.total_weight, 1e-2) << "machines=" << machines;
   }
@@ -203,7 +203,7 @@ TEST(RunnerTest, PrepareInputTransforms) {
 
 TEST(RunnerTest, UnknownAlgorithmAborts) {
   InputGraph raw = SmallRmat(31, false, 6);
-  EXPECT_DEATH(RunChaosAlgorithm("nope", raw, SmallConfig(1)), "unknown algorithm");
+  EXPECT_DEATH(RunJob(MakeJob("nope", raw, SmallConfig(1))), "unknown algorithm");
 }
 
 // Parameterized sweep: every algorithm runs end-to-end on 1 and 4 machines
@@ -214,8 +214,8 @@ TEST_P(AllAlgorithmsTest, ClusterConsistentAcrossMachines) {
   const std::string& name = GetParam();
   InputGraph raw = SmallRmat(37, AlgorithmByName(name).needs_weights, 7);
   InputGraph prepared = PrepareInput(name, raw);
-  auto one = RunChaosAlgorithm(name, prepared, SmallConfig(1));
-  auto four = RunChaosAlgorithm(name, prepared, SmallConfig(4));
+  auto one = RunJob(MakeJob(name, prepared, SmallConfig(1)));
+  auto four = RunJob(MakeJob(name, prepared, SmallConfig(4)));
   ASSERT_EQ(one.values.size(), four.values.size());
   for (size_t v = 0; v < one.values.size(); ++v) {
     if (std::isinf(one.values[v])) {
@@ -237,7 +237,7 @@ TEST_P(AllAlgorithmsTest, XStreamMatchesCluster) {
   xcfg.memory_budget_bytes = 8 << 10;
   xcfg.chunk_bytes = 2 << 10;
   auto xs = RunXStreamAlgorithm(name, prepared, xcfg);
-  auto chaos_run = RunChaosAlgorithm(name, prepared, SmallConfig(1));
+  auto chaos_run = RunJob(MakeJob(name, prepared, SmallConfig(1)));
   ASSERT_EQ(xs.values.size(), chaos_run.values.size());
   for (size_t v = 0; v < xs.values.size(); ++v) {
     if (std::isinf(xs.values[v])) {

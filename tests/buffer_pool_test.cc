@@ -170,7 +170,7 @@ std::vector<std::string> RunPressuredSweep(int jobs) {
     cfg.chunk_bytes = 2 << 10;
     cfg.pool_budget_bytes = 12 << 10;  // well under the working set: spills
     cfg.seed = 11;
-    prints[i] = MetricsFingerprint(RunChaosAlgorithm(algos[i], prepared, cfg));
+    prints[i] = MetricsFingerprint(RunJob(MakeJob(algos[i], prepared, cfg)));
   });
   return prints;
 }

@@ -285,21 +285,21 @@ std::string RunPoint(const Point& p) {
   AlgoResult result;
   switch (p.fault) {
     case FaultMode::kNone: {
-      result = RunChaosAlgorithm(p.algo, prepared, PointConfig(p.machines, seed), params);
+      result = RunJob(MakeJob(p.algo, prepared, PointConfig(p.machines, seed), params));
       break;
     }
     case FaultMode::kStraggler: {
       ClusterConfig cfg = PointConfig(p.machines, seed);
       // Last machine at quarter speed from t=0, permanently.
       cfg.faults = FaultSchedule::Straggler(p.machines - 1, 4.0, FaultTarget::kCpu);
-      result = RunChaosAlgorithm(p.algo, prepared, cfg, params);
+      result = RunJob(MakeJob(p.algo, prepared, cfg, params));
       break;
     }
     case FaultMode::kCrashRecovery: {
       // Place the kill ~50% into the post-preprocessing computation of a
       // fault-free probe run, checkpoint every superstep, then demand the
       // recovered run still matches the reference.
-      auto probe = RunChaosAlgorithm(p.algo, prepared, PointConfig(p.machines, seed), params);
+      auto probe = RunJob(MakeJob(p.algo, prepared, PointConfig(p.machines, seed), params));
       const TimeNs kill_at =
           probe.metrics.preprocess_time +
           static_cast<TimeNs>(0.5 * static_cast<double>(probe.metrics.total_time -
@@ -307,9 +307,9 @@ std::string RunPoint(const Point& p) {
       ClusterConfig cfg = PointConfig(p.machines, seed);
       cfg.checkpoint_interval = 1;
       cfg.faults = FaultSchedule::MachineCrash(p.machines - 1, kill_at);
-      RecoveryReport report;
-      result = RunChaosAlgorithmWithRecovery(p.algo, prepared, cfg, params, RecoveryOptions{},
-                                             &report);
+      JobSpec spec = MakeJob(p.algo, prepared, cfg, params);
+      spec.recover = true;
+      result = RunJob(spec);
       if (result.crashed) {
         return "recovery left the run in a crashed state";
       }
@@ -325,7 +325,7 @@ std::string RunPoint(const Point& p) {
       // in-flight 2 KiB chunk is already over, so every point — the
       // 256-vertex grids at 4 machines included — really does thrash.
       cfg.pool_budget_bytes = 2 << 10;
-      result = RunChaosAlgorithm(p.algo, prepared, cfg, params);
+      result = RunJob(MakeJob(p.algo, prepared, cfg, params));
       if (result.metrics.SpillBytesMoved() == 0) {
         return "low-mem point generated no spill traffic; pressure knob inert?";
       }

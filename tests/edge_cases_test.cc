@@ -27,7 +27,7 @@ ClusterConfig TinyConfig(int machines) {
 TEST(EdgeCaseTest, EdgelessGraph) {
   InputGraph g;
   g.num_vertices = 64;
-  auto result = RunChaosAlgorithm("wcc", g, TinyConfig(2));
+  auto result = RunJob(MakeJob("wcc", g, TinyConfig(2)));
   ASSERT_EQ(result.values.size(), 64u);
   for (VertexId v = 0; v < 64; ++v) {
     EXPECT_DOUBLE_EQ(result.values[v], static_cast<double>(v));  // all singletons
@@ -38,10 +38,10 @@ TEST(EdgeCaseTest, SingleVertexSelfLoop) {
   InputGraph g;
   g.num_vertices = 1;
   g.edges.push_back(Edge{0, 0, 1.0f, kEdgeForward});
-  auto pr = RunChaosAlgorithm("pagerank", g, TinyConfig(1));
+  auto pr = RunJob(MakeJob("pagerank", g, TinyConfig(1)));
   // Self-loop PR fixed point: rank = 0.15 + 0.85 * rank -> 1.0.
   EXPECT_NEAR(pr.values[0], 1.0, 1e-3);
-  auto bfs = RunChaosAlgorithm("bfs", MakeUndirected(g), TinyConfig(1));
+  auto bfs = RunJob(MakeJob("bfs", MakeUndirected(g), TinyConfig(1)));
   EXPECT_DOUBLE_EQ(bfs.values[0], 0.0);
 }
 
@@ -51,7 +51,7 @@ TEST(EdgeCaseTest, AllSelfLoops) {
   for (VertexId v = 0; v < 16; ++v) {
     g.edges.push_back(Edge{v, v, 1.0f, kEdgeForward});
   }
-  auto mis = RunChaosAlgorithm("mis", MakeUndirected(g), TinyConfig(2));
+  auto mis = RunJob(MakeJob("mis", MakeUndirected(g), TinyConfig(2)));
   // Self-loops do not constrain independence: everyone joins.
   for (VertexId v = 0; v < 16; ++v) {
     EXPECT_DOUBLE_EQ(mis.values[v], 1.0);
@@ -67,7 +67,7 @@ TEST(EdgeCaseTest, StarGraphSkew) {
     g.edges.push_back(Edge{v, 0, 1.0f, kEdgeForward});
   }
   auto expect = ref::BfsDepths(g, 0);
-  auto result = RunChaosAlgorithm("bfs", g, TinyConfig(4));
+  auto result = RunJob(MakeJob("bfs", g, TinyConfig(4)));
   for (VertexId v = 0; v < 256; ++v) {
     EXPECT_DOUBLE_EQ(result.values[v], static_cast<double>(expect[v]));
   }
@@ -78,7 +78,7 @@ TEST(EdgeCaseTest, MorePartitionsThanSomeMachinesHaveChunks) {
   // most sets; exhaustion detection must still work.
   InputGraph g = GenerateUniformRandom(64, 100, false, 9);
   auto expect = ref::ComponentLabels(MakeUndirected(g));
-  auto result = RunChaosAlgorithm("wcc", MakeUndirected(g), TinyConfig(8));
+  auto result = RunJob(MakeJob("wcc", MakeUndirected(g), TinyConfig(8)));
   for (VertexId v = 0; v < 64; ++v) {
     EXPECT_DOUBLE_EQ(result.values[v], static_cast<double>(expect[v]));
   }
@@ -93,7 +93,7 @@ TEST(EdgeCaseTest, SingleChunkPerEverything) {
   auto expect = ref::PageRank(g, 3);
   AlgoParams params;
   params.iterations = 3;
-  auto result = RunChaosAlgorithm("pagerank", g, cfg, params);
+  auto result = RunJob(MakeJob("pagerank", g, cfg, params));
   for (size_t v = 0; v < expect.size(); ++v) {
     EXPECT_NEAR(result.values[v], expect[v], 1e-3 * (1.0 + std::abs(expect[v])));
   }
@@ -105,7 +105,7 @@ TEST(ParamsTest, BfsSourceIsHonored) {
   InputGraph g = MakeUndirected(GenerateUniformRandom(128, 512, false, 13));
   AlgoParams params;
   params.source = 17;
-  auto result = RunChaosAlgorithm("bfs", g, TinyConfig(2), params);
+  auto result = RunJob(MakeJob("bfs", g, TinyConfig(2), params));
   EXPECT_DOUBLE_EQ(result.values[17], 0.0);
   auto expect = ref::BfsDepths(g, 17);
   for (size_t v = 0; v < expect.size(); ++v) {
@@ -117,7 +117,7 @@ TEST(ParamsTest, PageRankIterationsControlSupersteps) {
   InputGraph g = GenerateUniformRandom(64, 256, false, 15);
   AlgoParams params;
   params.iterations = 7;
-  auto result = RunChaosAlgorithm("pagerank", g, TinyConfig(1), params);
+  auto result = RunJob(MakeJob("pagerank", g, TinyConfig(1), params));
   EXPECT_EQ(result.supersteps, 7u);
 }
 
@@ -125,7 +125,7 @@ TEST(ParamsTest, SsspFindsWeightedShortestPaths) {
   InputGraph g = MakeUndirected(GenerateUniformRandom(100, 400, true, 17));
   AlgoParams params;
   params.source = 3;
-  auto result = RunChaosAlgorithm("sssp", g, TinyConfig(4), params);
+  auto result = RunJob(MakeJob("sssp", g, TinyConfig(4), params));
   auto expect = ref::DijkstraDistances(g, 3);
   for (size_t v = 0; v < expect.size(); ++v) {
     if (std::isinf(expect[v])) {

@@ -214,9 +214,9 @@ InputGraph StragglerGraph() {
 // correct answer (faults perturb timing, never results).
 TEST(FaultClusterTest, FourXStragglerStealingBeatsNoStealing) {
   InputGraph g = PrepareInput("pagerank", StragglerGraph());
-  auto healthy = RunChaosAlgorithm("pagerank", g, StragglerConfig(2, 1.0, 1.0));
-  auto with = RunChaosAlgorithm("pagerank", g, StragglerConfig(2, 1.0, 4.0));
-  auto without = RunChaosAlgorithm("pagerank", g, StragglerConfig(2, 0.0, 4.0));
+  auto healthy = RunJob(MakeJob("pagerank", g, StragglerConfig(2, 1.0, 1.0)));
+  auto with = RunJob(MakeJob("pagerank", g, StragglerConfig(2, 1.0, 4.0)));
+  auto without = RunJob(MakeJob("pagerank", g, StragglerConfig(2, 0.0, 4.0)));
 
   EXPECT_LT(with.metrics.total_time, without.metrics.total_time);
   uint64_t steals = 0;
@@ -246,7 +246,7 @@ TEST(FaultClusterTest, EventsPastTheEndOfTheRunAreNotReached) {
   ClusterConfig cfg = StragglerConfig(2, 1.0, 1.0);
   cfg.faults = FaultSchedule::TransientSlowdown(0, FaultTarget::kCpu, 0.5,
                                                 /*at=*/10 * kNsPerSec, /*duration=*/kNsPerMs);
-  auto r = RunChaosAlgorithm("pagerank", g, cfg);
+  auto r = RunJob(MakeJob("pagerank", g, cfg));
   EXPECT_LT(r.metrics.total_time, kNsPerSec);
   ASSERT_EQ(r.metrics.faults.size(), 1u);
   EXPECT_EQ(r.metrics.faults[0].applied_at, -1);
@@ -262,7 +262,7 @@ TEST(FaultClusterTest, FaultScheduleReplayIsDeterministic) {
     ClusterConfig cfg = StragglerConfig(2, 1.0, 1.0);
     cfg.faults = FaultSchedule::Random(/*seed=*/9, /*machines=*/2, /*count=*/6,
                                        /*horizon=*/5 * kNsPerMs);
-    return RunChaosAlgorithm("pagerank", g, cfg);
+    return RunJob(MakeJob("pagerank", g, cfg));
   };
   auto a = run();
   auto b = run();
@@ -306,7 +306,7 @@ TEST(HeterogeneityTest, ProfileAccessorsFallBackToDefaults) {
 TEST(HeterogeneityTest, SlowMachineProfileSlowsTheRunButNotTheAnswer) {
   InputGraph g = PrepareInput("pagerank", StragglerGraph());
   ClusterConfig uniform = StragglerConfig(2, 1.0, 1.0);
-  auto base = RunChaosAlgorithm("pagerank", g, uniform);
+  auto base = RunJob(MakeJob("pagerank", g, uniform));
 
   ClusterConfig skewed = uniform;
   skewed.profiles.resize(1);
@@ -314,7 +314,7 @@ TEST(HeterogeneityTest, SlowMachineProfileSlowsTheRunButNotTheAnswer) {
   slow.ns_per_edge_scatter *= 4;
   slow.ns_per_update_gather *= 4;
   skewed.profiles[0].cost = slow;
-  auto het = RunChaosAlgorithm("pagerank", g, skewed);
+  auto het = RunJob(MakeJob("pagerank", g, skewed));
 
   EXPECT_GT(het.metrics.total_time, base.metrics.total_time);
   ASSERT_EQ(het.values.size(), base.values.size());

@@ -168,8 +168,8 @@ TEST(PerfShapeTest, SmallBatchWindowIsSlower) {
   ClusterConfig sweet = BaseConfig(8);
   sweet.phi = 2.0;
   sweet.batch_k = 5;
-  auto slow = RunChaosAlgorithm("pagerank", g, small);
-  auto fast = RunChaosAlgorithm("pagerank", g, sweet);
+  auto slow = RunJob(MakeJob("pagerank", g, small));
+  auto fast = RunJob(MakeJob("pagerank", g, sweet));
   EXPECT_GT(slow.metrics.total_time, fast.metrics.total_time);
 }
 
@@ -190,9 +190,9 @@ TEST(PerfShapeTest, StealingHelpsOnSkewedGraphs) {
   cfg.chunk_bytes = 2 << 10;
   cfg.storage.access_latency = 2 * kNsPerUs;
   cfg.net.one_way_latency = kNsPerUs;
-  auto with = RunChaosAlgorithm("pagerank", g, cfg);
+  auto with = RunJob(MakeJob("pagerank", g, cfg));
   cfg.alpha = 0.0;
-  auto without = RunChaosAlgorithm("pagerank", g, cfg);
+  auto without = RunJob(MakeJob("pagerank", g, cfg));
   // Steals must actually happen and pay for themselves. At miniature scale
   // the absolute runtime win is within noise (bench_fig18 demonstrates it
   // at figure scale), so assert the robust observables: no regression, and
@@ -213,9 +213,9 @@ TEST(PerfShapeTest, StealingHelpsOnSkewedGraphs) {
 TEST(PerfShapeTest, CentralizedDirectoryIsSlower) {
   InputGraph g = PrepareInput("pagerank", TestGraph(29));
   ClusterConfig cfg = BaseConfig(8);
-  auto chaos_run = RunChaosAlgorithm("pagerank", g, cfg);
+  auto chaos_run = RunJob(MakeJob("pagerank", g, cfg));
   cfg.placement = Placement::kCentralDirectory;
-  auto central = RunChaosAlgorithm("pagerank", g, cfg);
+  auto central = RunJob(MakeJob("pagerank", g, cfg));
   EXPECT_GT(central.metrics.total_time, chaos_run.metrics.total_time);
 }
 
@@ -237,12 +237,12 @@ TEST(PerfShapeTest, SlowNetworkAndSlowDisksHurt) {
     cfg.net = net;
     return cfg;
   };
-  auto base = RunChaosAlgorithm(
-      "pagerank", g, config(StorageConfig::Ssd(), NetworkConfig::FortyGigE()));
-  auto slow = RunChaosAlgorithm(
-      "pagerank", g, config(StorageConfig::Ssd(), NetworkConfig::OneGigE()));
-  auto disks = RunChaosAlgorithm(
-      "pagerank", g, config(StorageConfig::Hdd(), NetworkConfig::FortyGigE()));
+  auto base = RunJob(MakeJob(
+      "pagerank", g, config(StorageConfig::Ssd(), NetworkConfig::FortyGigE())));
+  auto slow = RunJob(MakeJob(
+      "pagerank", g, config(StorageConfig::Ssd(), NetworkConfig::OneGigE())));
+  auto disks = RunJob(MakeJob(
+      "pagerank", g, config(StorageConfig::Hdd(), NetworkConfig::FortyGigE())));
   EXPECT_GT(slow.metrics.total_time, base.metrics.total_time);
   EXPECT_GT(disks.metrics.total_time, base.metrics.total_time);
 }
@@ -262,8 +262,8 @@ TEST(PerfShapeTest, WeakScalingStaysBounded) {
   cfg1.memory_budget_bytes = g1.num_vertices * 12;
   ClusterConfig cfg8 = BaseConfig(8);
   cfg8.memory_budget_bytes = g8.num_vertices * 12 / 8;
-  auto one = RunChaosAlgorithm("pagerank", g1, cfg1);
-  auto eight = RunChaosAlgorithm("pagerank", g8, cfg8);
+  auto one = RunJob(MakeJob("pagerank", g1, cfg1));
+  auto eight = RunJob(MakeJob("pagerank", g8, cfg8));
   const double ratio = static_cast<double>(eight.metrics.total_time) /
                        static_cast<double>(one.metrics.total_time);
   EXPECT_LT(ratio, 3.0) << "weak scaling ratio " << ratio;
@@ -277,7 +277,7 @@ TEST(PerfShapeTest, UpdateConservationEverywhere) {
        {Placement::kRandom, Placement::kLocalMaster, Placement::kCentralDirectory}) {
     ClusterConfig cfg = BaseConfig(4);
     cfg.placement = placement;
-    auto result = RunChaosAlgorithm("sssp", g, cfg);
+    auto result = RunJob(MakeJob("sssp", g, cfg));
     uint64_t emitted = 0;
     uint64_t gathered = 0;
     for (const auto& mm : result.metrics.machines) {

@@ -272,15 +272,15 @@ TEST(RecoveryTest, SameSizeRecoveryWorksUnderCentralDirectory) {
 TEST(RecoveryTest, TypeErasedRunnerRecovers) {
   InputGraph g = PrepareInput("sssp", TestGraph(43));
   ClusterConfig cfg = BaseConfig(4);
-  auto truth = RunChaosAlgorithm("sssp", g, cfg);
+  auto truth = RunJob(MakeJob("sssp", g, cfg));
 
   cfg.checkpoint_interval = 1;
   cfg.faults = FaultSchedule::MachineCrash(3, MidRunKillTime(truth.metrics));
-  RecoveryReport report;
-  auto recovered =
-      RunChaosAlgorithmWithRecovery("sssp", g, cfg, {}, RecoveryOptions{}, &report);
+  JobSpec spec = MakeJob("sssp", g, cfg);
+  spec.recover = true;
+  auto recovered = RunJob(spec);
 
-  EXPECT_TRUE(report.crash_detected);
+  EXPECT_TRUE(recovered.recovery.crash_detected);
   EXPECT_FALSE(recovered.crashed);
   ASSERT_EQ(recovered.values.size(), truth.values.size());
   for (size_t v = 0; v < truth.values.size(); ++v) {
@@ -301,16 +301,16 @@ TEST(MachineCrashTest, McstRecoveryPreservesEmittedForestAndInFlightUpdates) {
   InputGraph g = PrepareInput("mcst", GenerateRmat(opt));
   ClusterConfig cfg = BaseConfig(4);
 
-  auto truth = RunChaosAlgorithm("mcst", g, cfg);
+  auto truth = RunJob(MakeJob("mcst", g, cfg));
   ASSERT_GT(truth.output_records, 0u);
 
   cfg.checkpoint_interval = 1;
   cfg.faults = FaultSchedule::MachineCrash(1, MidRunKillTime(truth.metrics));
-  RecoveryReport report;
-  auto recovered = RunChaosAlgorithmWithRecovery("mcst", g, cfg, AlgoParams{},
-                                                 RecoveryOptions{}, &report);
-  ASSERT_TRUE(report.crash_detected);
-  ASSERT_TRUE(report.recovered_from_checkpoint);
+  JobSpec spec = MakeJob("mcst", g, cfg);
+  spec.recover = true;
+  auto recovered = RunJob(spec);
+  ASSERT_TRUE(recovered.recovery.crash_detected);
+  ASSERT_TRUE(recovered.recovery.recovered_from_checkpoint);
   EXPECT_EQ(recovered.output_records, truth.output_records);
   EXPECT_NEAR(recovered.scalar, truth.scalar, 1e-2);
 }
