@@ -72,6 +72,20 @@ inline ClusterConfig BenchClusterConfig(const InputGraph& graph, int machines,
   return cfg;
 }
 
+// The latency-miniaturization ratio BenchClusterConfig applied (configured
+// chunk size vs the paper's 4 MB). Benches that set policy time knobs after
+// building the config (e.g. steal backoff windows) scale them with this so
+// they stay proportionate to the shrunken per-request latencies.
+inline double BenchMiniature(const ClusterConfig& cfg) {
+  return std::min(1.0,
+                  static_cast<double>(cfg.chunk_bytes) / static_cast<double>(4ull << 20));
+}
+
+inline TimeNs BenchShrinkTime(const ClusterConfig& cfg, TimeNs t) {
+  const auto scaled = static_cast<TimeNs>(static_cast<double>(t) * BenchMiniature(cfg));
+  return scaled > 1 ? scaled : 1;
+}
+
 inline InputGraph BenchRmat(uint32_t scale, bool weighted, uint64_t seed) {
   RmatOptions opt;
   opt.scale = scale;

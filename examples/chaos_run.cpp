@@ -70,6 +70,9 @@ void RegisterFlags(Options& opt) {
   opt.AddInt("cores", 0, "CPU cores per machine (0 = cost-model default)");
   opt.AddDouble("storage-bw-mbps", 0.0, "storage bandwidth MB/s (0 = profile default)");
   opt.AddDouble("alpha", 1.0, "work-stealing bias (0 disables stealing)");
+  opt.AddString("steal-mode", "steal_one",
+                "steal policy: steal_one|steal_half|adaptive (adaptive also "
+                "turns on backoff + victim-check hints)");
   opt.AddInt("straggler", -1, "machine to degrade (-1 = healthy cluster)");
   opt.AddDouble("straggler-severity", 4.0, "slowdown factor of the straggler");
   opt.AddString("straggler-target", "cpu", "degraded resource: cpu|storage|nic|machine");
@@ -193,6 +196,17 @@ std::optional<JobSpec> BuildJob(const Options& opt, bool quiet, bool serving) {
   cfg.storage = opt.GetBool("hdd") ? StorageConfig::Hdd() : StorageConfig::Ssd();
   cfg.net = opt.GetBool("slow-net") ? NetworkConfig::OneGigE() : NetworkConfig::FortyGigE();
   cfg.alpha = opt.GetDouble("alpha");
+  if (!ParseStealMode(opt.GetString("steal-mode"), &cfg.steal.mode)) {
+    std::fprintf(stderr, "unknown --steal-mode '%s' (steal_one|steal_half|adaptive)\n",
+                 opt.GetString("steal-mode").c_str());
+    return std::nullopt;
+  }
+  if (cfg.steal.mode == StealMode::kAdaptive) {
+    // The full adaptive runtime: hint-driven escalation plus backoff and
+    // per-phase victim-check hints (see src/core/steal_policy.h).
+    cfg.steal.backoff = true;
+    cfg.steal.victim_check = true;
+  }
   cfg.checkpoint_interval = static_cast<uint32_t>(opt.GetInt("checkpoint-interval"));
   cfg.seed = seed;
   if (opt.GetInt("cores") > 0) {

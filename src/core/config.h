@@ -8,6 +8,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/steal_policy.h"
 #include "net/network.h"
 #include "sim/fault_injector.h"
 #include "sim/time.h"
@@ -89,6 +90,12 @@ struct ClusterConfig {
   // Work-stealing bias alpha (§10.2): master accepts a steal proposal iff
   // V + D/(H+1) < alpha * D/H. 0 disables stealing; infinity always steals.
   double alpha = 1.0;
+
+  // Steal policy (core/steal_policy.h): how idle engines sweep victims and
+  // how much a granted proposal takes. The default is the paper's baseline
+  // (randomized steal-one, no backoff, no victim hints, flat routing);
+  // alpha above stays the accept/decline bias under every mode.
+  StealPolicy steal;
 
   Placement placement = Placement::kRandom;
 

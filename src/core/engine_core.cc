@@ -8,6 +8,7 @@
 #include "core/gas.h"  // UpdateRecord<uint32_t>: the fixed degree-count record
 #include "core/gather_phase.h"
 #include "core/scatter_phase.h"
+#include "util/parallel.h"  // DeriveSeed: the sweep-wide seed-derivation rule
 
 namespace chaos {
 
@@ -19,6 +20,8 @@ EngineCore::EngineCore(EngineContext ctx, ProgramKernel* kernel, GraphMeta meta,
       parts_(parts),
       metrics_(metrics),
       rng_(HashCombine(ctx_.config->seed, static_cast<uint64_t>(ctx_.machine) + 0xce)),
+      steal_rng_(DeriveSeed(HashCombine(ctx_.config->seed, static_cast<uint64_t>(ctx_.machine)),
+                            0x57ea1)),
       stolen_ready_(ctx_.sim),
       stolen_taken_(ctx_.sim) {
   for (PartitionId p = 0; p < parts_->num_partitions(); ++p) {
@@ -309,46 +312,108 @@ bool EngineCore::StealDecision(PartitionId p, EnginePhase phase) {
   const uint64_t epoch = phase == EnginePhase::kScatter ? ScatterEpoch() : GatherEpoch();
   const double d_local = static_cast<double>(ctx_.local_storage()->RemainingBytes(set, epoch));
   const double d = d_local * ctx_.machines();
-  if (d <= 0.0) {
-    return false;
-  }
   const double v = static_cast<double>(parts_->Count(p)) *
                    static_cast<double>(kernel_->vertex_state_bytes());
-  const int h = st.workers > 0 ? st.workers : 1;
-  const double alpha = ctx_.config->alpha;
-  return std::isinf(alpha) || (v + d / (h + 1) < alpha * d / h);
+  return StealAccept(v, d, st.workers, ctx_.config->alpha);
+}
+
+std::vector<MachineId> EngineCore::StealVictimOrder() {
+  const int m = ctx_.machines();
+  const std::vector<uint32_t> perm = steal_rng_.Permutation(static_cast<uint32_t>(m));
+  std::vector<MachineId> order;
+  order.reserve(static_cast<size_t>(m) - 1);
+  const int domain = ctx_.config->steal.steal_domain;
+  if (domain <= 1 || domain >= m) {
+    for (const uint32_t v : perm) {
+      if (static_cast<MachineId>(v) != ctx_.machine) {
+        order.push_back(static_cast<MachineId>(v));
+      }
+    }
+    return order;
+  }
+  // 2-level routing: in-domain victims first (both halves keep the
+  // permutation's relative order, so the whole order stays seeded).
+  const int mine = ctx_.machine / domain;
+  for (const uint32_t v : perm) {
+    if (static_cast<MachineId>(v) != ctx_.machine && static_cast<int>(v) / domain == mine) {
+      order.push_back(static_cast<MachineId>(v));
+    }
+  }
+  for (const uint32_t v : perm) {
+    if (static_cast<MachineId>(v) != ctx_.machine && static_cast<int>(v) / domain != mine) {
+      order.push_back(static_cast<MachineId>(v));
+    }
+  }
+  return order;
 }
 
 Task<> EngineCore::StealLoop(EnginePhase phase, std::function<Task<>(PartitionId)> work) {
+  const StealPolicy& policy = ctx_.config->steal;
+  if (ctx_.machines() <= 1) {
+    co_return;
+  }
+  StealSweepState state(policy.mode);
+  // Task-indicator hints: victims that reported no open work this phase.
+  // O(machines) per engine and local to the loop — no per-pair state.
+  std::vector<uint8_t> drained(static_cast<size_t>(ctx_.machines()), 0);
+  BackoffWindow backoff(policy.backoff_initial, policy.backoff_max);
+  int dry_rounds = 0;
   while (!Dead()) {
-    bool any_accept = false;
-    std::vector<uint32_t> order = rng_.Permutation(parts_->num_partitions());
-    for (const PartitionId p : order) {
+    bool any_grant = false;
+    for (const MachineId victim : StealVictimOrder()) {
       if (Dead()) {
         break;
       }
-      if (parts_->Master(p) == ctx_.machine) {
+      if (policy.victim_check && drained[static_cast<size_t>(victim)] != 0) {
         continue;
       }
       ++metrics_->steal_proposals_sent;
       Message req;
       req.src = ctx_.machine;
-      req.dst = parts_->Master(p);
+      req.dst = victim;
       req.service = kControlService;
       req.type = kHelpProposalReq;
       req.wire_bytes = kControlMsgBytes;
-      req.body = HelpProposalReq{p, phase, superstep_};
+      req.body = HelpProposalReq{phase, superstep_, state.steal_half()};
       Message resp = co_await ctx_.bus->Call(std::move(req));
-      if (!std::any_cast<const HelpProposalResp&>(resp.body).accept) {
+      const auto& r = std::any_cast<const HelpProposalResp&>(resp.body);
+      if (!r.more_work) {
+        drained[static_cast<size_t>(victim)] = 1;
+        ++metrics_->victim_misses;
+      }
+      if (r.granted.empty()) {
+        ++metrics_->steal_requests_declined;
         continue;
       }
-      any_accept = true;
-      ++metrics_->steals_worked;
-      co_await work(p);
+      any_grant = true;
+      state.OnGrant(r.more_work);
+      // A multi-partition grant is streamed concurrently, not sequentially:
+      // a stolen gather partition ends in a park-until-the-master-pulls
+      // handshake, and the master pulls in its own partition order — a
+      // sequential helper holding grant [p3, p0] while the master waits on
+      // p0 would deadlock the superstep.
+      TaskGroup group(ctx_.sim);
+      for (const PartitionId p : r.granted) {
+        ++metrics_->steals_worked;
+        group.Spawn(work(p));
+      }
+      co_await group.Join();
     }
-    if (!any_accept) {
+    if (any_grant) {
+      backoff.Reset();
+      dry_rounds = 0;
+      continue;
+    }
+    if (!policy.backoff || dry_rounds >= policy.max_backoff_rounds) {
       break;
     }
+    // Dry sweep with backoff on: park and retry — work that opens late
+    // (behind a slow victim stream) still finds this helper.
+    ++dry_rounds;
+    ++metrics_->steal_backoffs;
+    const TimeNs wait = backoff.Next();
+    metrics_->steal_backoff_time += wait;
+    co_await ctx_.sim->Delay(wait);
   }
 }
 
@@ -358,18 +423,39 @@ Task<> EngineCore::ControlServer() {
   SimQueue<Message>& inbox = ctx_.bus->Inbox(ctx_.machine, kControlService);
   while (true) {
     Message m = co_await inbox.Pop();
+    // Per-message handling CPU (0MQ cost, §7), like the data path charges
+    // per chunk. Handling is serial, so a proposal storm hitting a
+    // CPU-degraded machine backs up its control queue — the large-N cost
+    // that victim hints and backoff exist to cut.
+    co_await ctx_.sim->Delay(ctx_.MessageTime());
     switch (m.type) {
       case kHelpProposalReq: {
         const auto& req = std::any_cast<const HelpProposalReq&>(m.body);
         ++metrics_->proposals_received;
-        bool accept = false;
+        HelpProposalResp out;
         // A dead master accepts no new helpers (its superstep is doomed);
-        // already-admitted stealers are drained by the handshake.
+        // already-admitted stealers are drained by the handshake. A phase
+        // or superstep mismatch means this victim has nothing left for the
+        // proposer's phase: more_work stays false, so the helper's victim
+        // check retires this victim for the rest of the phase.
         if (ctx_.config->stealing_enabled() && !Dead() && req.superstep == superstep_ &&
-            req.phase == phase_ && own_status_.count(req.partition) != 0) {
-          accept = StealDecision(req.partition, req.phase);
-          if (accept) {
-            PartStatus& st = own_status_[req.partition];
+            req.phase == phase_ && !own_status_.empty()) {
+          uint32_t open = 0;
+          for (const PartitionId p : own_partitions_) {
+            const auto it = own_status_.find(p);
+            if (it != own_status_.end() && it->second.s != PartStatus::S::kClosed) {
+              ++open;
+            }
+          }
+          out.more_work = open > 0;
+          const uint32_t limit = StealGrantLimit(req.steal_half, open);
+          const size_t n = own_partitions_.size();
+          for (size_t i = 0; i < n && out.granted.size() < limit; ++i) {
+            const PartitionId p = own_partitions_[(grant_cursor_ + i) % n];
+            if (!StealDecision(p, req.phase)) {
+              continue;
+            }
+            PartStatus& st = own_status_[p];
             ++st.workers;
             if (st.s == PartStatus::S::kPending) {
               st.s = PartStatus::S::kActive;
@@ -377,10 +463,16 @@ Task<> EngineCore::ControlServer() {
             if (req.phase == EnginePhase::kGather) {
               st.gather_stealers.push_back(m.src);
             }
+            out.granted.push_back(p);
+          }
+          if (!out.granted.empty()) {
             ++metrics_->proposals_accepted;
+            metrics_->partitions_granted += out.granted.size();
+            grant_cursor_ = (grant_cursor_ + 1) % n;
           }
         }
-        ctx_.bus->PostReply(m, kHelpProposalResp, kControlMsgBytes, HelpProposalResp{accept});
+        const uint64_t wire = kControlMsgBytes + 4ull * out.granted.size();
+        ctx_.bus->PostReply(m, kHelpProposalResp, wire, std::move(out));
         break;
       }
       case kAccumPullReq:

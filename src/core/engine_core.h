@@ -172,13 +172,21 @@ class EngineCore {
   void ResetOwnStatuses();
   void OnMasterStartsPartition(PartitionId p);
   void OnMasterFinishesPartition(PartitionId p);
-  // The steal decision (§5.4): accept iff V + D/(H+1) < alpha * D/H, with D
-  // estimated as (local remaining bytes) * machines.
+  // The steal decision (§5.4): accept iff V + D/(H+1) < alpha * D/H
+  // (StealAccept in steal_policy.h), with D estimated as (local remaining
+  // bytes) * machines.
   bool StealDecision(PartitionId p, EnginePhase phase);
-  // Randomized proposal sweep (§5.3); `work` streams one stolen partition
-  // in the current phase (supplied by the phase driver). Taken by value:
-  // coroutine parameters are copied into the frame, so the callable safely
-  // outlives every suspension.
+  // Victim sweep order for one steal round: a seeded random permutation of
+  // the other machines (from the dedicated steal RNG, so steal traffic
+  // never perturbs placement draws), with in-domain victims first when
+  // 2-level routing (StealPolicy::steal_domain) is configured.
+  std::vector<MachineId> StealVictimOrder();
+  // Randomized proposal sweep (§5.3) under the configured StealPolicy:
+  // per-victim-machine proposals, optional task-indicator skips, optional
+  // exponential backoff after dry sweeps, adaptive steal-half escalation.
+  // `work` streams one stolen partition in the current phase (supplied by
+  // the phase driver). Taken by value: coroutine parameters are copied into
+  // the frame, so the callable safely outlives every suspension.
   Task<> StealLoop(EnginePhase phase, std::function<Task<>(PartitionId)> work);
 
   // ------------------------------------------------------- control server
@@ -216,6 +224,13 @@ class EngineCore {
   const Partitioning* parts_;
   MachineMetrics* metrics_;
   Rng rng_;
+  // Victim-selection stream, seeded via DeriveSeed from (config seed,
+  // machine) — bitwise independent of --jobs and of the placement RNG.
+  Rng steal_rng_;
+  // Master-side grant cursor: successive granted proposals start their
+  // own-partition sweep one slot later, spreading helpers across distinct
+  // partitions instead of piling every helper onto the first open one.
+  size_t grant_cursor_ = 0;
 
   uint64_t changed_ = 0;
   uint64_t superstep_ = 0;

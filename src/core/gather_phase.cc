@@ -67,6 +67,9 @@ Task<GatherPhase::Streamed> GatherPhase::Stream(PartitionId p, bool stolen) {
     c.kernel_->GatherChunk(*chunk, out.vstate.batch, &out.accums.batch, base, &binner_);
     c.metrics_->updates_processed += chunk->count;
     ++c.metrics_->chunks_fetched;
+    if (stolen) {
+      ++c.metrics_->stolen_chunks;
+    }
     co_await binner_.FlushPending(&writer_, UpdatesFor(c.superstep_ + 1));
   }
   co_return out;

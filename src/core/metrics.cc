@@ -1,6 +1,7 @@
 #include "core/metrics.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 #include "util/stats.h"
@@ -124,6 +125,80 @@ uint64_t RunMetrics::StealsDuringFault(const FaultRecord& r) const {
   return machines[m].proposals_accepted - before;
 }
 
+std::vector<TimeNs> RunMetrics::SuperstepDurations() const {
+  std::vector<TimeNs> out;
+  out.reserve(superstep_end_times.size());
+  TimeNs prev = preprocess_time;
+  for (const TimeNs t : superstep_end_times) {
+    out.push_back(t - prev);
+    prev = t;
+  }
+  return out;
+}
+
+TimeNs RunMetrics::SuperstepTail(double q) const {
+  std::vector<TimeNs> d = SuperstepDurations();
+  if (d.empty()) {
+    return 0;
+  }
+  std::sort(d.begin(), d.end());
+  size_t rank = static_cast<size_t>(std::ceil(q * static_cast<double>(d.size())));
+  rank = std::min(std::max<size_t>(rank, 1), d.size());
+  return d[rank - 1];
+}
+
+uint64_t RunMetrics::StealProposalsSent() const {
+  uint64_t total = 0;
+  for (const MachineMetrics& m : machines) {
+    total += m.steal_proposals_sent;
+  }
+  return total;
+}
+
+uint64_t RunMetrics::StealRequestsDeclined() const {
+  uint64_t total = 0;
+  for (const MachineMetrics& m : machines) {
+    total += m.steal_requests_declined;
+  }
+  return total;
+}
+
+uint64_t RunMetrics::StealBackoffs() const {
+  uint64_t total = 0;
+  for (const MachineMetrics& m : machines) {
+    total += m.steal_backoffs;
+  }
+  return total;
+}
+
+uint64_t RunMetrics::PartitionsGranted() const {
+  uint64_t total = 0;
+  for (const MachineMetrics& m : machines) {
+    total += m.partitions_granted;
+  }
+  return total;
+}
+
+uint64_t RunMetrics::StolenChunks() const {
+  uint64_t total = 0;
+  for (const MachineMetrics& m : machines) {
+    total += m.stolen_chunks;
+  }
+  return total;
+}
+
+double RunMetrics::VictimMissRate() const {
+  const uint64_t sent = StealProposalsSent();
+  if (sent == 0) {
+    return 0.0;
+  }
+  uint64_t misses = 0;
+  for (const MachineMetrics& m : machines) {
+    misses += m.victim_misses;
+  }
+  return static_cast<double>(misses) / static_cast<double>(sent);
+}
+
 std::string RunMetrics::Summary() const {
   std::string out;
   char line[256];
@@ -147,6 +222,18 @@ std::string RunMetrics::Summary() const {
     std::snprintf(line, sizeof(line), "  %-14s %6.2f%%\n",
                   BucketName(static_cast<Bucket>(b)),
                   100.0 * BucketFraction(static_cast<Bucket>(b)));
+    out += line;
+  }
+  if (StealProposalsSent() > 0) {
+    std::snprintf(line, sizeof(line),
+                  "  steal: sent=%llu declined=%llu granted=%llu chunks=%llu "
+                  "backoffs=%llu miss=%.1f%%\n",
+                  static_cast<unsigned long long>(StealProposalsSent()),
+                  static_cast<unsigned long long>(StealRequestsDeclined()),
+                  static_cast<unsigned long long>(PartitionsGranted()),
+                  static_cast<unsigned long long>(StolenChunks()),
+                  static_cast<unsigned long long>(StealBackoffs()),
+                  100.0 * VictimMissRate());
     out += line;
   }
   if (recovered) {

@@ -40,7 +40,14 @@ struct MachineMetrics {
   uint64_t steal_proposals_sent = 0;
   uint64_t steals_worked = 0;       // stolen partition work items executed
   uint64_t proposals_received = 0;  // as master
-  uint64_t proposals_accepted = 0;  // as master
+  uint64_t proposals_accepted = 0;  // as master (granted >= 1 partition)
+  // Steal-policy accounting (core/steal_policy.h).
+  uint64_t steal_requests_declined = 0;  // as helper: responses granting nothing
+  uint64_t victim_misses = 0;       // as helper: victim reported no open work
+  uint64_t steal_backoffs = 0;      // as helper: dry-sweep backoff waits taken
+  TimeNs steal_backoff_time = 0;    // as helper: sim time parked in backoff
+  uint64_t partitions_granted = 0;  // as master: partitions handed to helpers
+  uint64_t stolen_chunks = 0;       // as helper: chunks streamed on stolen partitions
 
   TimeNs bucket(Bucket b) const { return buckets[static_cast<size_t>(b)]; }
   void Add(Bucket b, TimeNs t) { buckets[static_cast<size_t>(b)] += t; }
@@ -117,6 +124,23 @@ struct RunMetrics {
   // Steals of the victim's partitions while the fault was active (difference
   // of the probe samples; for still-active faults, up to the end of the run).
   uint64_t StealsDuringFault(const FaultRecord& r) const;
+
+  // Durations of each completed superstep (from superstep_end_times; the
+  // first superstep starts when pre-processing ends). Coordinator-side, so
+  // present on every finished run.
+  std::vector<TimeNs> SuperstepDurations() const;
+  // Tail quantile of the superstep durations (q in (0, 1]; q = 0.99 is the
+  // p99 the fig21 large-N gate compares). Nearest-rank on the sorted
+  // durations — deterministic, no interpolation.
+  TimeNs SuperstepTail(double q) const;
+  // Steal-policy aggregates over machines.
+  uint64_t StealProposalsSent() const;
+  uint64_t StealRequestsDeclined() const;
+  uint64_t StealBackoffs() const;
+  uint64_t PartitionsGranted() const;
+  uint64_t StolenChunks() const;
+  // Fraction of proposals that hit a victim with no open work.
+  double VictimMissRate() const;
 
   std::string Summary() const;
 };

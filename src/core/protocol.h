@@ -7,8 +7,16 @@
 //
 //   kHelpProposalReq/Resp  work stealing (§5.3-§5.4, Fig. 4 lines 23-33 for
 //                          scatter, 46-53 for gather): an idle engine
-//                          proposes to help with a partition; the master
-//                          accepts iff V + D/(H+1) < alpha * D/H (§5.4).
+//                          proposes to help a VICTIM MACHINE; the victim
+//                          grants partitions it masters, each admitted iff
+//                          V + D/(H+1) < alpha * D/H (§5.4). The request
+//                          carries an amount hint (steal-half vs steal-one,
+//                          core/steal_policy.h) and the response carries a
+//                          task-indicator hint ("I still have open work")
+//                          so helpers can skip drained victims — one
+//                          round-trip per victim per sweep instead of one
+//                          per partition, which is what keeps the request
+//                          storm linear at 32-128 machines.
 //   kAccumPullReq/Resp     gather-phase accumulator reconciliation (§5.3,
 //                          Fig. 4 line 52): the master pulls each stealer's
 //                          replica accumulator array and merges it before
@@ -55,24 +63,32 @@ enum class EnginePhase : uint8_t {
   kGather = 1,
 };
 
-// "May I help with partition `partition`?" (Fig. 4 lines 24-26). Sent by an
-// engine that has finished its own partitions to the partition's master,
-// chosen in a random sweep order (§5.3: randomized stealing needs no load
-// information). The superstep guards against stale proposals crossing a
-// barrier.
+// "May I help you?" (Fig. 4 lines 24-26), sent by an engine that has
+// finished its own partitions to a victim machine chosen in a seeded random
+// sweep order (§5.3: randomized stealing needs no load information;
+// EngineCore::StealVictimOrder adds the optional 2-level domain routing).
+// `steal_half` is the amount hint of the configured StealMode: ask for up
+// to half of the victim's open partitions instead of one. The superstep
+// guards against stale proposals crossing a barrier.
 struct HelpProposalReq {
-  PartitionId partition = 0;
   EnginePhase phase = EnginePhase::kScatter;
   uint64_t superstep = 0;
+  bool steal_half = false;
 };
 
-// The master's steal decision (§5.4, Fig. 4 lines 27-31): accept while the
-// remaining work D (estimated from its local storage's unserved bytes,
-// scaled by the machine count) justifies copying the partition's vertex set
-// V to one more helper: V + D/(H+1) < alpha * D/H. alpha is the stealing
-// bias of ClusterConfig (Fig. 18 sweeps it; 0 disables stealing).
+// The victim's grant (§5.4, Fig. 4 lines 27-31): the partitions — up to
+// StealGrantLimit(steal_half, open) of them, swept from a rotating cursor —
+// whose steal decision accepted one more helper: remaining work D
+// (estimated from local storage's unserved bytes, scaled by the machine
+// count) must justify copying the partition's vertex set V to one more
+// helper, V + D/(H+1) < alpha * D/H. alpha is the stealing bias of
+// ClusterConfig (Fig. 18 sweeps it; 0 disables stealing). `more_work` is
+// the task-indicator hint (victim still has open partitions); with
+// victim_check on, a helper skips victims that said false for the rest of
+// the phase.
 struct HelpProposalResp {
-  bool accept = false;
+  std::vector<PartitionId> granted;
+  bool more_work = false;
 };
 
 // After closing a gather-phase partition, the master pulls the replica

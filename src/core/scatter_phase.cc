@@ -64,6 +64,9 @@ Task<> ScatterPhase::ProcessPartition(PartitionId p, bool stolen) {
     c.kernel_->ScatterChunk(*chunk, vstate.batch, base, &binner_);
     c.metrics_->edges_processed += chunk->count;
     ++c.metrics_->chunks_fetched;
+    if (stolen) {
+      ++c.metrics_->stolen_chunks;
+    }
     co_await binner_.FlushPending(&writer_, target_kind);
   }
   if (mine) {

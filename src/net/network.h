@@ -90,6 +90,9 @@ class Network {
   const NetworkConfig& config() const { return config_; }
   int machines() const { return machines_; }
   Simulator* sim() const { return sim_; }
+  // Allocation counter for the large-N regression tests: per-machine link
+  // records only, O(machines) by construction — never per-pair state.
+  size_t link_count() const { return links_.size(); }
 
   uint64_t bytes_sent(MachineId m) const { return links_[Index(m)].bytes_sent; }
   uint64_t bytes_received(MachineId m) const { return links_[Index(m)].bytes_received; }
@@ -145,6 +148,9 @@ class MessageBus {
   void PostReply(const Message& request, uint32_t type, uint64_t wire_bytes, std::any body);
 
   uint64_t messages_delivered() const { return delivered_; }
+  // Allocation counter for the large-N regression tests: machines *
+  // kNumServices mailboxes, O(machines) by construction.
+  size_t inbox_count() const { return inboxes_.size(); }
 
  private:
   struct PendingCall {

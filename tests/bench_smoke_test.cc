@@ -312,6 +312,15 @@ TEST(BenchDeterminismTest, FigRecoveryIdenticalAcrossJobCounts) {
   ExpectJobsInvariant("fig_recovery", "--scale=10");
 }
 
+// Doubles as the 64-machine smoke: the policy matrix (off/one/half/adaptive
+// with seeded victim sweeps, backoff and domain routing) must stay byte-
+// identical across --jobs, at a machine count past the paper's testbed.
+// severities=1 keeps the healthy column only — the straggler gates
+// (severity >= 4) are exercised by the CI bench job, not this smoke.
+TEST(BenchDeterminismTest, Fig21At64MachinesIdenticalAcrossJobCounts) {
+  ExpectJobsInvariant("fig21_stragglers", "--machines-list=64 --severities=1 --scale=8");
+}
+
 TEST(BenchSmokeTest, ListIncludesAllRegisteredBenches) {
   ASSERT_FALSE(g_bench_path.empty());
   FILE* pipe = popen((ShellQuote(g_bench_path) + " --list").c_str(), "r");

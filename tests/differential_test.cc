@@ -61,12 +61,19 @@ struct Point {
   std::string graph;  // rmat | grid | web
   int machines = 1;
   FaultMode fault = FaultMode::kNone;
+  // Steal-policy column: run the straggler fault under an explicit steal
+  // policy (mode + backoff + victim_check) instead of the config default.
+  bool policy_point = false;
+  StealMode steal = StealMode::kStealOne;
   size_t index = 0;  // position in the grid; seeds derive from it
 };
 
 std::string PointName(const Point& p) {
   std::ostringstream name;
   name << p.algo << "_" << p.graph << "_m" << p.machines << "_" << FaultModeName(p.fault);
+  if (p.policy_point) {
+    name << "_" << StealModeName(p.steal);
+  }
   return name.str();
 }
 
@@ -100,6 +107,26 @@ std::vector<Point> BuildGrid() {
         p.graph = graph;
         p.machines = machines;
         p.fault = FaultMode::kLowMemory;
+        p.index = grid.size();
+        grid.push_back(p);
+      }
+    }
+  }
+  // The steal-policy column (also appended, same reason): every algorithm x
+  // graph under the straggler fault at 4 machines, once per steal mode with
+  // the full policy runtime on (backoff + victim-check). Stealing amount and
+  // proposal routing may change timing arbitrarily; results may not move.
+  for (const auto& info : Algorithms()) {
+    for (const std::string graph : {"rmat", "grid", "web"}) {
+      for (const StealMode mode :
+           {StealMode::kStealOne, StealMode::kStealHalf, StealMode::kAdaptive}) {
+        Point p;
+        p.algo = info.name;
+        p.graph = graph;
+        p.machines = 4;
+        p.fault = FaultMode::kStraggler;
+        p.policy_point = true;
+        p.steal = mode;
         p.index = grid.size();
         grid.push_back(p);
       }
@@ -292,6 +319,11 @@ std::string RunPoint(const Point& p) {
       ClusterConfig cfg = PointConfig(p.machines, seed);
       // Last machine at quarter speed from t=0, permanently.
       cfg.faults = FaultSchedule::Straggler(p.machines - 1, 4.0, FaultTarget::kCpu);
+      if (p.policy_point) {
+        cfg.steal.mode = p.steal;
+        cfg.steal.backoff = true;
+        cfg.steal.victim_check = true;
+      }
       result = RunJob(MakeJob(p.algo, prepared, cfg, params));
       break;
     }
@@ -382,18 +414,28 @@ INSTANTIATE_TEST_SUITE_P(AllPoints, DifferentialTest, ::testing::ValuesIn(BuildG
 // silently re-seed every point and mask history-dependent regressions.
 TEST(DifferentialGridTest, GridShapeAndSeedsAreStable) {
   const auto grid = BuildGrid();
-  ASSERT_EQ(grid.size(), 10u * 3u * 3u * 4u);
+  ASSERT_EQ(grid.size(), 10u * 3u * 3u * 4u + 10u * 3u * 3u);
   EXPECT_EQ(grid[0].algo, "bfs");
   EXPECT_EQ(grid[0].graph, "rmat");
   EXPECT_EQ(grid[0].machines, 1);
   EXPECT_EQ(grid[0].fault, FaultMode::kNone);
   // The original 270-point block keeps its indices (and so its seeds); the
-  // low-mem column is strictly appended.
+  // low-mem column is strictly appended, the steal-policy column after it.
   EXPECT_EQ(grid[269].fault, FaultMode::kCrashRecovery);
   EXPECT_EQ(grid[269].algo, "bp");
   EXPECT_EQ(grid[270].fault, FaultMode::kLowMemory);
   EXPECT_EQ(grid[270].algo, "bfs");
   EXPECT_EQ(grid[270].machines, 1);
+  EXPECT_EQ(grid[359].fault, FaultMode::kLowMemory);
+  EXPECT_EQ(grid[359].algo, "bp");
+  EXPECT_FALSE(grid[359].policy_point);
+  EXPECT_TRUE(grid[360].policy_point);
+  EXPECT_EQ(grid[360].algo, "bfs");
+  EXPECT_EQ(grid[360].graph, "rmat");
+  EXPECT_EQ(grid[360].machines, 4);
+  EXPECT_EQ(grid[360].fault, FaultMode::kStraggler);
+  EXPECT_EQ(grid[360].steal, StealMode::kStealOne);
+  EXPECT_EQ(grid[449].steal, StealMode::kAdaptive);
   // DeriveSeed is pinned: splitmix64-based, platform-stable.
   EXPECT_EQ(DeriveSeed(1, 0), DeriveSeed(1, 0));
   EXPECT_NE(DeriveSeed(1, 0), DeriveSeed(1, 1));
