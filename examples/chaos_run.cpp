@@ -18,6 +18,12 @@
 //   chaos_run --algo pagerank --scale 16 --machines 8
 //             --checkpoint-interval 2 --kill-machine 2 --kill-at 0.08
 //
+// Evolving graphs (reproduces bench fig_evolving): apply seeded mutation
+// batches between convergences and re-converge incrementally from the
+// affected frontier (--mutate-full restarts every vertex instead):
+//   chaos_run --algo bfs --scale 14 --machines 8 --mutate-batches 3
+//             --mutate-rate 0.01 --mutate-preset churn
+//
 // Sweep mode: cross-product over comma-separated knob lists, one
 // self-contained simulation per point, run in parallel under --jobs
 // (results are bitwise independent of the job count — util/parallel.h):
@@ -83,6 +89,14 @@ void RegisterFlags(Options& opt) {
   opt.AddDouble("kill-at", 0.5,
                 "simulated failure time in SECONDS (note: --fault-at-ms is in ms)");
   opt.AddBool("rescale", false, "recover on N-1 machines instead of a same-size cluster");
+  opt.AddInt("mutate-batches", 0,
+             "evolving mode: apply N seeded mutation batches between convergences and "
+             "re-converge after each (bfs/sssp/wcc only; 0 = static graph)");
+  opt.AddDouble("mutate-rate", 0.03, "edges mutated per batch as a fraction of the graph");
+  opt.AddString("mutate-preset", "uniform", "mutation shape: uniform|hotspot|churn");
+  opt.AddBool("mutate-full", false,
+              "full-recompute baseline: reseed every vertex instead of warm-starting "
+              "from the affected frontier");
   opt.AddInt("source", 0, "source vertex (bfs/sssp)");
   opt.AddInt("iterations", 5, "iterations (pagerank/bp)");
   opt.AddInt("seed", 1, "seed");
@@ -283,10 +297,42 @@ std::optional<JobSpec> BuildJob(const Options& opt, bool quiet, bool serving) {
     }
   }
 
+  // ---- Evolving mode.
+  const auto mutate_batches = static_cast<uint32_t>(opt.GetInt("mutate-batches"));
+  std::optional<MutatePreset> mutate_preset;
+  if (mutate_batches > 0) {
+    if (algo != "bfs" && algo != "sssp" && algo != "wcc") {
+      std::fprintf(stderr, "--mutate-batches supports bfs/sssp/wcc, not %s\n", algo.c_str());
+      return std::nullopt;
+    }
+    mutate_preset = MutatePresetByName(opt.GetString("mutate-preset"));
+    if (!mutate_preset.has_value()) {
+      std::fprintf(stderr, "unknown --mutate-preset '%s' (uniform|hotspot|churn)\n",
+                   opt.GetString("mutate-preset").c_str());
+      return std::nullopt;
+    }
+    if (!quiet) {
+      std::printf("evolving: %u mutation batch(es), rate %.3f, preset %s, %s re-convergence\n",
+                  mutate_batches, opt.GetDouble("mutate-rate"),
+                  opt.GetString("mutate-preset").c_str(),
+                  opt.GetBool("mutate-full") ? "full-recompute" : "incremental");
+    }
+  }
+
   AlgoParams params;
   params.source = static_cast<VertexId>(opt.GetInt("source"));
   params.iterations = static_cast<uint32_t>(opt.GetInt("iterations"));
   JobSpec spec = MakeJob(algo, std::move(prepared), cfg, params);
+  if (mutate_batches > 0) {
+    // Evolving jobs carry the RAW graph: the controller re-prepares it per
+    // epoch (the prepared copy above only sized the cluster and narration).
+    spec.input = std::make_shared<const InputGraph>(std::move(raw));
+    spec.mutations.log.num_batches = mutate_batches;
+    spec.mutations.log.rate = opt.GetDouble("mutate-rate");
+    spec.mutations.log.preset = *mutate_preset;
+    spec.mutations.log.seed = seed;
+    spec.mutations.incremental = !opt.GetBool("mutate-full");
+  }
   if (kill_machine >= 0) {
     spec.recover = true;
     spec.recovery = recovery;

@@ -1,0 +1,292 @@
+// Evolving-graph driver (PR 8): binds a MutationLog to a cluster run.
+//
+// An evolving run is ONE continuous cluster run over a sequence of mutation
+// epochs. Each time the algorithm converges, the barrier coordinator asks
+// the attached MutationFeed for the next epoch's delta (planned here, on
+// the host, against the engine's own converged vertex states), the engines
+// apply it crash-atomically (engine_core.h ApplyMutationStage), and the run
+// continues from the reseeded state instead of reporting done. The run only
+// finishes after the last epoch's re-convergence, so the final values are
+// the fixed point of the fully mutated graph.
+//
+// The EvolvingController owns everything host-side: the deterministic
+// MutationLog, the raw graph as of the last applied epoch, and the planner
+// closure that (1) applies the next raw batch, (2) re-prepares the graph,
+// (3) computes warm-start seeds from the converged states (incremental.h) —
+// or fresh InitVertex seeds for the full-recompute baseline — and (4) bins
+// the complete post-batch prepared edge list by partition for the engines'
+// re-bin stage. Recovery and preemption re-attach the controller at the
+// checkpoint's epoch: current_raw rewinds via MutationLog::GraphAfter and
+// the feed replays every epoch that was not durably committed.
+#ifndef CHAOS_ALGORITHMS_EVOLVING_H_
+#define CHAOS_ALGORITHMS_EVOLVING_H_
+
+#include <algorithm>
+#include <cstring>
+#include <iterator>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "algorithms/incremental.h"
+#include "algorithms/runner.h"
+#include "core/cluster.h"
+#include "core/job_spec.h"
+#include "core/mutation_feed.h"
+#include "graph/mutation_log.h"
+
+namespace chaos {
+
+// Bounded-probe default for callers that want a capped WCC connectivity
+// check (tests exercise both regimes). The controller itself follows
+// MutationSchedule::wcc_connectivity_budget: 0 = exhaustive, which is free
+// in simulated time (planning is host-side) and keeps giant components
+// from re-flooding on every intra-component delete.
+inline constexpr uint64_t kWccConnectivityBudget = 4096;
+
+template <GasProgram P>
+class EvolvingController {
+ public:
+  using VState = typename P::VertexState;
+
+  EvolvingController(P prog, std::string algorithm, const InputGraph& raw,
+                     const MutationSchedule& sched)
+      : prog_(std::move(prog)),
+        algorithm_(std::move(algorithm)),
+        incremental_(sched.incremental),
+        wcc_budget_(sched.wcc_connectivity_budget),
+        log_(raw, sched.log),
+        current_raw_(raw),
+        initial_prepared_(PrepareInput(algorithm_, raw)) {
+    CHAOS_CHECK_MSG(algorithm_ == "bfs" || algorithm_ == "sssp" || algorithm_ == "wcc",
+                    "evolving mode supports bfs/sssp/wcc, got " + algorithm_);
+  }
+
+  // The epoch-0 prepared graph the cluster ingests (JobSpec::input stays RAW
+  // in mutation mode; preparation happens here, per epoch).
+  const InputGraph& initial_prepared() const { return initial_prepared_; }
+  const MutationLog& log() const { return log_; }
+  MutationFeed* feed() { return &feed_; }
+
+  // Binds the feed's planner to `cluster` with epochs [0, start_epoch)
+  // already durably baked into the state the cluster holds: 0 for a fresh
+  // run, RunResult::checkpoint_epoch when resuming from a checkpoint. Must
+  // run before Run/Resume; the controller must outlive the cluster's run.
+  void Attach(Cluster<P>* cluster, uint64_t start_epoch) {
+    CHAOS_CHECK_LE(start_epoch, log_.num_batches());
+    current_raw_ = log_.GraphAfter(start_epoch);
+    feed_.Configure(log_.num_batches(),
+                    [this, cluster](uint64_t epoch) { return Plan(cluster, epoch); });
+    feed_.SkipTo(start_epoch);
+    cluster->AttachMutations(&feed_);
+  }
+
+ private:
+  // Planned at the convergence barrier, host-side (zero simulated time; the
+  // engines charge the data movement when they apply the delta).
+  MutationDelta Plan(Cluster<P>* cluster, uint64_t epoch) {
+    const MutationBatch& batch = log_.batch(epoch);
+    const InputGraph old_prepared = PrepareInput(algorithm_, current_raw_);
+    InputGraph new_raw = current_raw_;
+    MutationLog::Apply(&new_raw, batch);
+    const InputGraph new_prepared = PrepareInput(algorithm_, new_raw);
+
+    MutationDelta delta;
+    delta.vertex_state_bytes = sizeof(VState);
+    delta.edges_inserted = batch.inserts.size();
+    delta.edges_deleted = batch.deletes.size();
+
+    std::vector<VState> seeds;
+    SeedStats stats;
+    if (incremental_) {
+      // Warm-start from the engine's own converged states (read host-side
+      // at the barrier instant — every machine is quiescent).
+      cluster->HostReadStates(SetKind::kVertices, &seeds);
+      stats = ComputeSeeds(old_prepared, new_prepared, batch, &seeds);
+    } else {
+      // Full-recompute baseline: fresh InitVertex seeds, identical apply
+      // cost — the comparison isolates re-convergence work.
+      const auto global = prog_.InitGlobal(new_prepared.num_vertices);
+      seeds.reserve(new_prepared.num_vertices);
+      for (VertexId v = 0; v < new_prepared.num_vertices; ++v) {
+        seeds.push_back(prog_.InitVertex(global, v, 0));
+      }
+      stats.resets = new_prepared.num_vertices;
+      stats.frontier = new_prepared.num_vertices;
+    }
+    delta.seed_states.resize(seeds.size() * sizeof(VState));
+    std::memcpy(delta.seed_states.data(), seeds.data(), delta.seed_states.size());
+    delta.frontier = stats.frontier;
+    delta.resets = stats.resets;
+
+    // The COMPLETE post-batch prepared edge list, binned by the partition
+    // the engines stream (PartitionOf(src), edge-list order): the apply
+    // stage replaces each partition's edge set wholesale, so chunk layout
+    // is host-determined and independent of fetch arrival order.
+    const Partitioning& parts = cluster->partitioning();
+    delta.part_edges.assign(parts.num_partitions(), {});
+    for (const Edge& e : new_prepared.edges) {
+      delta.part_edges[parts.PartitionOf(e.src)].push_back(e);
+    }
+
+    current_raw_ = std::move(new_raw);
+    return delta;
+  }
+
+  SeedStats ComputeSeeds(const InputGraph& old_prepared, const InputGraph& new_prepared,
+                         const MutationBatch& batch, std::vector<VState>* seeds) const {
+    // Per-arc (prepared) images of the batch: undirected preparation turns
+    // each raw edge into two forward arcs.
+    auto prepared_arcs = [](const std::vector<Edge>& raw) {
+      std::vector<Edge> arcs;
+      arcs.reserve(raw.size() * 2);
+      for (const Edge& e : raw) {
+        arcs.push_back(Edge{e.src, e.dst, e.weight, kEdgeForward});
+        arcs.push_back(Edge{e.dst, e.src, e.weight, kEdgeForward});
+      }
+      return arcs;
+    };
+    const std::vector<Edge> del_arcs = prepared_arcs(batch.deletes);
+    const std::vector<Edge> ins_arcs = prepared_arcs(batch.inserts);
+    if constexpr (std::is_same_v<P, IncBfsProgram>) {
+      return SeedIncBfs(old_prepared, new_prepared, del_arcs, ins_arcs,
+                        prog_.InitGlobal(0).source, seeds);
+    } else if constexpr (std::is_same_v<P, SsspProgram>) {
+      return SeedSssp(old_prepared, new_prepared, del_arcs, ins_arcs,
+                      prog_.InitGlobal(0).source, seeds);
+    } else if constexpr (std::is_same_v<P, WccProgram>) {
+      // Budget 0 = exhaustive: one traversal per arc fully explores any
+      // component, so every intact deletion is certified.
+      const uint64_t budget =
+          wcc_budget_ != 0 ? wcc_budget_ : new_prepared.edges.size() + 1;
+      return SeedWcc(new_prepared, batch.deletes, ins_arcs, budget, seeds);
+    } else {
+      CHAOS_CHECK_MSG(false, "no incremental seeder for this program");
+      return SeedStats{};
+    }
+  }
+
+  P prog_;
+  std::string algorithm_;
+  bool incremental_;
+  uint64_t wcc_budget_;  // 0 = exhaustive probe
+  MutationLog log_;
+  InputGraph current_raw_;   // raw graph as of the last planned epoch
+  InputGraph initial_prepared_;
+  MutationFeed feed_;
+};
+
+// Evolving twin of core/recovery.h RunWithRecovery: runs the full mutation
+// schedule; on a machine-failure abort, re-provisions, imports the last
+// committed checkpoint — including WHICH edge side (kEdges/kEdgesB) was
+// live at that commit, relabeled back to kEdges for the replacement — and
+// rewinds the controller so every epoch after checkpoint_epoch replays.
+// With no crash this is just the plain evolving run.
+template <GasProgram P>
+RunResult<P> RunEvolvingWithRecovery(const ClusterConfig& config, P prog, const InputGraph& raw,
+                                     const std::string& algorithm,
+                                     const MutationSchedule& sched,
+                                     const RecoveryOptions& opts = {},
+                                     RecoveryReport* report = nullptr) {
+  EvolvingController<P> ctrl(prog, algorithm, raw, sched);
+  RecoveryReport rep;
+  rep.machines_after = config.machines;
+
+  Cluster<P> cluster(config, prog);
+  ctrl.Attach(&cluster, 0);
+  RunResult<P> first = cluster.Run(ctrl.initial_prepared());
+  rep.end_to_end_time = first.metrics.total_time;
+  if (!first.crashed) {
+    if (report != nullptr) {
+      *report = rep;
+    }
+    return first;
+  }
+
+  rep.crash_detected = true;
+  rep.crashed_run_time = first.metrics.total_time;
+  rep.crash_superstep = first.supersteps > 0 ? first.supersteps - 1 : 0;
+
+  ClusterConfig rcfg = config;
+  rcfg.faults = FaultSchedule{};
+  rcfg.crash_after_superstep = -1;
+  if (opts.replacement_machines > 0 && opts.replacement_machines != config.machines) {
+    rcfg.machines = opts.replacement_machines;
+    rcfg.profiles.clear();
+  }
+  rep.machines_after = rcfg.machines;
+
+  const InputGraph& prepared0 = ctrl.initial_prepared();
+  GraphMeta meta;
+  meta.num_vertices = prepared0.num_vertices;
+  meta.weighted = prepared0.weighted;
+  meta.edge_wire_bytes = prepared0.edge_wire_bytes();
+  meta.vertex_id_wire_bytes = prepared0.vertex_id_wire_bytes();
+
+  RunResult<P> second;
+  if (first.has_checkpoint) {
+    rcfg.resume = true;
+    rcfg.resume_superstep = first.checkpoint_superstep;
+    rep.resume_superstep = first.checkpoint_superstep;
+    rep.recovered_from_checkpoint = true;
+    Cluster<P> replacement(rcfg, prog);
+    replacement.PreparePartitioning(meta.num_vertices);
+    const SetKind usnap = UpdatesCkptFor(first.checkpoint_side);
+    const SetKind resume_updates = UpdatesFor(first.checkpoint_superstep);
+    if (rcfg.machines == config.machines) {
+      // The committed edge side may be kEdgesB (odd number of applied
+      // epochs); the replacement always starts on kEdges. A crash mid-apply
+      // leaves partial chunks on the in-flight side — never imported, the
+      // checkpoint pins the intact one.
+      replacement.ImportSets(cluster, first.checkpoint_edges_kind, SetKind::kEdges);
+      replacement.ImportSets(cluster, first.checkpoint_side, SetKind::kVertices);
+      replacement.ImportSets(cluster, usnap, resume_updates);
+    } else {
+      replacement.ImportRepartitioned(cluster, first.checkpoint_side, meta, usnap,
+                                      resume_updates, first.checkpoint_edges_kind);
+    }
+    // Mutations planned after the committed epoch died with the cluster:
+    // rewind the raw graph to GraphAfter(checkpoint_epoch) and replay.
+    ctrl.Attach(&replacement, first.checkpoint_epoch);
+    second = replacement.Resume(meta, first.checkpoint_global);
+    auto committed = cluster.OutputsBefore(first.checkpoint_superstep);
+    second.outputs.insert(second.outputs.begin(), std::make_move_iterator(committed.begin()),
+                          std::make_move_iterator(committed.end()));
+  } else {
+    rcfg.resume = false;
+    Cluster<P> replacement(rcfg, std::move(prog));
+    ctrl.Attach(&replacement, 0);
+    second = replacement.Run(ctrl.initial_prepared());
+  }
+
+  const bool died_in_preprocess = first.metrics.preprocess_time == 0;
+  rep.lost_work_supersteps =
+      !died_in_preprocess && rep.crash_superstep >= rep.resume_superstep
+          ? rep.crash_superstep - rep.resume_superstep + 1
+          : 0;
+  const auto& times = second.metrics.superstep_end_times;
+  if (died_in_preprocess) {
+    rep.time_to_recover = second.metrics.preprocess_time;
+  } else if (rep.crash_superstep < rep.resume_superstep) {
+    rep.time_to_recover = 0;
+  } else if (times.empty()) {
+    rep.time_to_recover = second.metrics.total_time;
+  } else {
+    const uint64_t idx = rep.crash_superstep - rep.resume_superstep;
+    rep.time_to_recover = times[std::min<uint64_t>(idx, times.size() - 1)];
+  }
+  rep.end_to_end_time = rep.crashed_run_time + second.metrics.total_time;
+
+  second.metrics.recovered = true;
+  second.metrics.lost_work_supersteps = rep.lost_work_supersteps;
+  second.metrics.time_to_recover = rep.time_to_recover;
+  second.metrics.crashed_run_time = rep.crashed_run_time;
+  if (report != nullptr) {
+    *report = rep;
+  }
+  return second;
+}
+
+}  // namespace chaos
+
+#endif  // CHAOS_ALGORITHMS_EVOLVING_H_

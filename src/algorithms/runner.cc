@@ -3,6 +3,8 @@
 #include <utility>
 
 #include "algorithms/basic.h"
+#include "algorithms/evolving.h"
+#include "algorithms/incremental.h"
 #include "algorithms/mcst.h"
 #include "algorithms/mis.h"
 #include "algorithms/scc.h"
@@ -109,6 +111,25 @@ XStreamRunResult RunXStreamWith(P prog, const InputGraph& input, const XStreamCo
   return result;
 }
 
+// Evolving runs bind their own program set: BFS swaps to the warm-startable
+// IncBfsProgram (the level-synchronous BfsProgram cannot resume from a
+// reseeded state); SSSP and WCC warm-start natively. Extract() of the
+// substitute is bitwise-compatible with the static program's.
+template <typename Fn>
+auto DispatchEvolving(const std::string& name, const AlgoParams& params, Fn&& fn) {
+  if (name == "bfs") {
+    return fn(IncBfsProgram(params.source));
+  }
+  if (name == "sssp") {
+    return fn(SsspProgram(params.source));
+  }
+  if (name == "wcc") {
+    return fn(WccProgram{});
+  }
+  CHAOS_CHECK_MSG(false, "evolving mode supports bfs/sssp/wcc, got " + name);
+  return fn(IncBfsProgram(params.source));
+}
+
 }  // namespace
 
 const std::vector<AlgorithmInfo>& Algorithms() {
@@ -149,14 +170,26 @@ InputGraph PrepareInput(const std::string& name, const InputGraph& raw) {
 JobResult RunJob(const JobSpec& spec) {
   CHAOS_CHECK_MSG(spec.input != nullptr, "JobSpec without an input graph");
   JobResult result;
-  AlgoResult algo = DispatchAlgorithm(spec.algorithm, spec.params, [&](auto prog) {
-    if (spec.recover) {
-      return ToAlgoResult(
-          RunWithRecovery(spec.cluster, std::move(prog), *spec.input, spec.recovery,
-                          &result.recovery));
-    }
-    return RunChaosWith(std::move(prog), *spec.input, spec.cluster);
-  });
+  AlgoResult algo =
+      spec.mutations.active()
+          ? DispatchEvolving(spec.algorithm, spec.params,
+                             [&](auto prog) {
+                               // spec.input is RAW here; the controller
+                               // prepares it per epoch. The recovery-capable
+                               // driver degenerates to a plain run when no
+                               // fault fires.
+                               return ToAlgoResult(RunEvolvingWithRecovery(
+                                   spec.cluster, std::move(prog), *spec.input, spec.algorithm,
+                                   spec.mutations, spec.recover ? spec.recovery : RecoveryOptions{},
+                                   &result.recovery));
+                             })
+          : DispatchAlgorithm(spec.algorithm, spec.params, [&](auto prog) {
+              if (spec.recover) {
+                return ToAlgoResult(RunWithRecovery(spec.cluster, std::move(prog), *spec.input,
+                                                    spec.recovery, &result.recovery));
+              }
+              return RunChaosWith(std::move(prog), *spec.input, spec.cluster);
+            });
   static_cast<AlgoResult&>(result) = std::move(algo);
   // Synthesize the trivial schedule of an isolated run: dispatched on
   // arrival, one slice, no queueing.
@@ -175,6 +208,27 @@ JobResult RunJob(const JobSpec& spec) {
 
 std::unique_ptr<JobExecution> MakeJobExecution(const JobSpec& spec) {
   CHAOS_CHECK_MSG(spec.input != nullptr, "JobSpec without an input graph");
+  if (spec.mutations.active()) {
+    // Sliced evolving execution: the controller (and its MutationFeed)
+    // outlives every slice via the shared_ptr captured in the attach hook,
+    // and the spec handed to the execution swaps the RAW input for the
+    // controller's epoch-0 prepared graph (aliased to the same owner).
+    return DispatchEvolving(
+        spec.algorithm, spec.params, [&](auto prog) -> std::unique_ptr<JobExecution> {
+          using P = decltype(prog);
+          auto ctrl = std::make_shared<EvolvingController<P>>(prog, spec.algorithm, *spec.input,
+                                                              spec.mutations);
+          JobSpec prepared_spec = spec;
+          prepared_spec.input =
+              std::shared_ptr<const InputGraph>(ctrl, &ctrl->initial_prepared());
+          auto exec = std::make_unique<TypedJobExecution<P, FinalizeToAlgoResult>>(
+              std::move(prepared_spec), std::move(prog), FinalizeToAlgoResult{});
+          exec->set_attach_hook([ctrl](Cluster<P>& cluster, uint64_t applied_epochs) {
+            ctrl->Attach(&cluster, applied_epochs);
+          });
+          return exec;
+        });
+  }
   return DispatchAlgorithm(spec.algorithm, spec.params,
                            [&](auto prog) -> std::unique_ptr<JobExecution> {
                              return MakeTypedJobExecution(spec, std::move(prog),

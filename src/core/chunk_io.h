@@ -42,6 +42,10 @@ struct EngineContext {
   // the engine and its I/O pipelines hold acquires pages here. May be null
   // (tests assembling a bare context), in which case memory is untracked.
   BufferPool* pool = nullptr;
+  // Evolving-graph mutation feed (core/mutation_feed.h), shared by every
+  // engine of the cluster; null for static runs. The coordinator plans
+  // epochs at convergence barriers, every engine applies the planned delta.
+  class MutationFeed* mutations = nullptr;
   MachineId machine = 0;
 
   int machines() const { return config->machines; }

@@ -11,6 +11,7 @@
 
 #include "core/buffer_pool.h"
 #include "core/compute_engine.h"
+#include "core/mutation_feed.h"
 #include "graph/types.h"
 
 namespace chaos {
@@ -29,6 +30,10 @@ struct RunResult {
   typename P::GlobalState checkpoint_global{};
   uint64_t checkpoint_superstep = 0;
   SetKind checkpoint_side = SetKind::kCheckpointA;
+  // Evolving graphs: the edge side (kEdges/kEdgesB) live at that checkpoint
+  // and the number of mutation epochs durably baked into it.
+  SetKind checkpoint_edges_kind = SetKind::kEdges;
+  uint64_t checkpoint_epoch = 0;
 };
 
 template <GasProgram P>
@@ -90,6 +95,11 @@ class Cluster {
     CHAOS_CHECK(config_.resume);
     return Execute(meta, global);
   }
+
+  // Evolving graphs: attaches the shared mutation feed the coordinator
+  // consults at every convergence barrier (core/mutation_feed.h). Must be
+  // called before Run/Resume; the feed outlives the run.
+  void AttachMutations(MutationFeed* feed) { mutations_ = feed; }
 
   // Host-side storage access (setup, inspection, checkpoint export/import).
   StorageEngine* storage(MachineId m) { return storage_[static_cast<size_t>(m)].get(); }
@@ -202,10 +212,14 @@ class Cluster {
   // (`updates_source`, when given) is re-binned by the new partition of
   // each record's destination vertex and relabeled `updates_as`. Call
   // PreparePartitioning first. Also valid for equal machine counts, where
-  // ImportSets is the cheaper path.
+  // ImportSets is the cheaper path. `edges_source` selects which edge side
+  // of the crashed cluster to drain (an evolving run's committed side may
+  // be kEdgesB); the imported copy is always relabeled kEdges, the side a
+  // fresh cluster reads first.
   void ImportRepartitioned(Cluster<P>& from, SetKind vertex_source, const GraphMeta& meta,
                            std::optional<SetKind> updates_source = std::nullopt,
-                           SetKind updates_as = SetKind::kUpdatesEven) {
+                           SetKind updates_as = SetKind::kUpdatesEven,
+                           SetKind edges_source = SetKind::kEdges) {
     CHAOS_CHECK(parts_ != nullptr);
     CHAOS_CHECK_EQ(from.partitioning().num_vertices(), parts_->num_vertices());
 
@@ -253,12 +267,21 @@ class Cluster {
     for (MachineId m = 0; m < from.config().machines; ++m) {
       StorageEngine* src = from.storage(m);
       for (const SetId& id : src->HostListSets()) {
-        if (id.kind != SetKind::kEdges) {
+        if (id.kind != edges_source) {
           continue;
         }
         for (const Chunk& c : *src->HostGetSet(id)) {
           const Chunk loaded = src->HostMaterialize(id, c);
           for (const Edge& e : ChunkSpan<Edge>(loaded)) {
+            // Validate both endpoints up front: PartitionOf(e.src) would
+            // die with a cryptic range CHECK, and an out-of-range e.dst was
+            // accepted silently — scatter later emits updates to vertices
+            // that do not exist, corrupting the recovered run.
+            CHAOS_CHECK_MSG(
+                e.src < parts_->num_vertices() && e.dst < parts_->num_vertices(),
+                "ImportRepartitioned: edge (" + std::to_string(e.src) + " -> " +
+                    std::to_string(e.dst) + ") references a vertex beyond num_vertices=" +
+                    std::to_string(parts_->num_vertices()));
             const PartitionId q = parts_->PartitionOf(e.src);
             bins[q].push_back(e);
             if (bins[q].size() >= per_edge_chunk) {
@@ -374,6 +397,7 @@ class Cluster {
       ctx.config = &config_;
       ctx.faults = injector_.get();
       ctx.pool = pools_[static_cast<size_t>(m)].get();
+      ctx.mutations = mutations_;
       ctx.machine = m;
       engines_.push_back(std::make_unique<ComputeEngine<P>>(
           std::move(ctx), &prog_, meta, parts_.get(),
@@ -423,6 +447,7 @@ class Cluster {
     result.metrics.incast_events = net_->incast_events();
     result.metrics.messages = bus_->messages_delivered();
     result.metrics.superstep_end_times = engines_[0]->superstep_end_times();
+    result.metrics.mutation_epochs = engines_[0]->mutation_records();
     if (injector_ != nullptr) {
       result.metrics.faults = injector_->records();
     }
@@ -434,6 +459,8 @@ class Cluster {
         result.checkpoint_global = engine->checkpointed_global();
         result.checkpoint_superstep = engine->checkpointed_superstep();
         result.checkpoint_side = engine->committed_checkpoint_side();
+        result.checkpoint_edges_kind = engine->checkpoint_edges_kind();
+        result.checkpoint_epoch = engine->checkpoint_epoch();
       }
     }
     ExtractStates(meta.num_vertices, &result);
@@ -509,6 +536,7 @@ class Cluster {
   std::unique_ptr<DirectoryServer> directory_;
   std::unique_ptr<FaultInjector> injector_;
   std::unique_ptr<Partitioning> parts_;
+  MutationFeed* mutations_ = nullptr;
   std::vector<std::unique_ptr<ComputeEngine<P>>> engines_;
   std::vector<MachineMetrics> machine_metrics_;
   TimeNs finish_time_ = 0;

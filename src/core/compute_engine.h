@@ -75,6 +75,13 @@ class ComputeEngine {
   bool has_checkpoint() const { return core_.has_checkpoint(); }
   // Latest committed checkpoint side (for recovery imports).
   SetKind committed_checkpoint_side() const { return core_.committed_checkpoint_side(); }
+  // Evolving graphs: edge side + mutation epoch at the last committed
+  // checkpoint, and the per-epoch apply records (machine 0 only).
+  SetKind checkpoint_edges_kind() const { return core_.checkpoint_edges_kind(); }
+  uint64_t checkpoint_epoch() const { return core_.checkpoint_epoch(); }
+  const std::vector<MutationEpochRecord>& mutation_records() const {
+    return core_.mutation_records();
+  }
 
  private:
   GasKernel<P> kernel_;

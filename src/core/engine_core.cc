@@ -84,27 +84,38 @@ Task<> EngineCore::Main() {
       GatherPhase gather(this);
       co_await gather.Run();
     }
-    const auto [done, crash] = co_await Barrier(/*advance=*/true);
-    if (crash) {
+    const BarrierOutcome out = co_await Barrier(/*advance=*/true);
+    if (out.crash) {
       break;
     }
     // Superstep completed cluster-wide: everything the kernel has output so
     // far is part of the committed output stream (see NumOutputsBefore).
     output_marks_.push_back(kernel_->num_outputs());
-    // The final superstep's checkpoint copy is written during its gather
-    // but not committed (the computation is complete; recovery would use
-    // the final vertex sets themselves). The uncommitted side is left
-    // behind, as in any in-flight 2-phase protocol.
-    const bool checkpoint_due = ctx_.config->checkpoint_interval > 0 && !done &&
-                                (superstep_ + 1) % ctx_.config->checkpoint_interval == 0;
-    if (checkpoint_due) {
-      co_await CommitCheckpoint();
+    if (out.mutate) {
+      // The program converged but the mutation feed has a pending batch:
+      // apply it (re-bin edges, reseed states, commit — its own forced
+      // checkpoint replaces the periodic one this superstep) and keep
+      // running; the reseeded changed flags drive re-convergence.
+      co_await ApplyMutationStage();
       if (aborted_) {
         break;
       }
+    } else {
+      // The final superstep's checkpoint copy is written during its gather
+      // but not committed (the computation is complete; recovery would use
+      // the final vertex sets themselves). The uncommitted side is left
+      // behind, as in any in-flight 2-phase protocol.
+      const bool checkpoint_due = ctx_.config->checkpoint_interval > 0 && !out.done &&
+                                  (superstep_ + 1) % ctx_.config->checkpoint_interval == 0;
+      if (checkpoint_due) {
+        co_await CommitCheckpoint();
+        if (aborted_) {
+          break;
+        }
+      }
     }
     ++superstep_;
-    if (done) {
+    if (out.done) {
       break;
     }
   }

@@ -71,6 +71,15 @@ struct PooledBatch {
   BufferPool::Lease lease;
 };
 
+// What a coordinator release told this engine to do next (protocol.h,
+// BarrierReleaseMsg): finish, abort, or run the apply-mutations stage and
+// keep going (evolving graphs — `done` and `mutate` are mutually exclusive).
+struct BarrierOutcome {
+  bool done = false;
+  bool crash = false;
+  bool mutate = false;
+};
+
 class EngineCore {
  public:
   EngineCore(EngineContext ctx, ProgramKernel* kernel, GraphMeta meta,
@@ -103,6 +112,17 @@ class EngineCore {
     CHAOS_CHECK(has_checkpoint_);
     return checkpoint_counter_ % 2 == 1 ? SetKind::kCheckpointA : SetKind::kCheckpointB;
   }
+  // Edge side live at the last committed checkpoint (kEdges/kEdgesB): an
+  // evolving run alternates edge sides per applied mutation batch, so a
+  // recovery driver must import THIS side, not unconditionally kEdges.
+  SetKind checkpoint_edges_kind() const { return checkpoint_edges_kind_; }
+  // Mutation epochs durably applied at the last committed checkpoint: the
+  // recovery driver restarts the MutationFeed here and replays the rest.
+  uint64_t checkpoint_epoch() const { return checkpoint_epoch_; }
+  // One record per mutation epoch this engine committed (machine 0 only).
+  const std::vector<MutationEpochRecord>& mutation_records() const {
+    return mutation_records_;
+  }
 
  private:
   friend class ScatterPhase;
@@ -130,6 +150,9 @@ class EngineCore {
   // Commit-time update-snapshot scans use a disjoint range so they never
   // collide with a phase scan of the same set.
   uint64_t CheckpointScanEpoch() const { return (1ull << 40) + superstep_; }
+  // Apply-mutations edge re-scan: its own disjoint range (one per superstep;
+  // at most one mutation batch applies per convergence barrier).
+  uint64_t MutateScanEpoch() const { return (1ull << 41) + superstep_; }
   static constexpr uint64_t kInputEpoch = 1;
   static constexpr uint64_t kDegreesEpoch = 2;
 
@@ -138,7 +161,14 @@ class EngineCore {
     return per < 1 ? 1 : per;
   }
 
-  SetId EdgesSet(PartitionId p) const { return SetId{p, SetKind::kEdges}; }
+  // The edge side currently being read. An evolving run's apply-mutations
+  // stage writes the post-batch edge set to the OTHER side, commits, then
+  // flips this parity and deletes the old side — so every scatter (and
+  // steal D-estimate) automatically follows the committed side.
+  SetKind EdgesKind() const {
+    return edges_flips_ % 2 == 0 ? SetKind::kEdges : SetKind::kEdgesB;
+  }
+  SetId EdgesSet(PartitionId p) const { return SetId{p, EdgesKind()}; }
   SetId UpdatesSet(PartitionId p, uint64_t superstep) const {
     return SetId{p, UpdatesFor(superstep)};
   }
@@ -197,8 +227,8 @@ class EngineCore {
   Task<> WaitStolenAccumsTaken(PartitionId p);
 
   // ------------------------------------------------------------- barriers
-  // Returns {done, crash} from the coordinator's release.
-  Task<std::pair<bool, bool>> Barrier(bool advance);
+  // Returns the coordinator's release verdict.
+  Task<BarrierOutcome> Barrier(bool advance);
   // Coordinator (machine 0): collects all machines' arrivals, folds
   // aggregator blobs through the kernel, runs Advance at gather barriers,
   // and releases everyone with the new canonical global.
@@ -217,6 +247,18 @@ class EngineCore {
   // 2-phase commit: all checkpoint data is durable (written during gather)
   // before the commit barrier; the previous side is deleted only afterwards.
   Task<> CommitCheckpoint();
+
+  // ------------------------------------------------------------ mutations
+  // Evolving graphs: applies the MutationFeed's planned delta. Streams the
+  // current edge side of every owned partition (the read cost of finding
+  // survivors), writes the post-batch edge set to the other side and the
+  // reseeded vertex states over kVertices (+ the hot checkpoint copy when
+  // checkpointing is on), commits at a barrier, flips the edge side, forces
+  // a checkpoint commit, and only then deletes the old side — a crash at
+  // any point leaves either the pre-batch or the post-batch state fully
+  // intact (barrier_fsm.cc).
+  Task<> ApplyMutationStage();
+  Task<> WriteSeedStates(PartitionId p, ChunkWriter* writer);
 
   EngineContext ctx_;
   ProgramKernel* kernel_;
@@ -249,6 +291,13 @@ class EngineCore {
   uint64_t checkpoint_counter_ = 0;
   uint64_t checkpointed_superstep_ = 0;
   bool has_checkpoint_ = false;
+  // Evolving graphs: committed edge-side flips (parity picks kEdges/kEdgesB),
+  // the edge side + mutation epoch captured at the last committed
+  // checkpoint, and the per-epoch records (machine 0).
+  uint64_t edges_flips_ = 0;
+  SetKind checkpoint_edges_kind_ = SetKind::kEdges;
+  uint64_t checkpoint_epoch_ = 0;
+  std::vector<MutationEpochRecord> mutation_records_;
   TimeNs preprocess_end_time_ = 0;
   std::vector<TimeNs> superstep_end_times_;  // machine 0 only (coordinator)
   bool finished_ = false;

@@ -24,6 +24,7 @@
 #ifndef CHAOS_CORE_JOB_EXECUTION_H_
 #define CHAOS_CORE_JOB_EXECUTION_H_
 
+#include <functional>
 #include <limits>
 #include <memory>
 #include <utility>
@@ -47,6 +48,15 @@ class TypedJobExecution final : public JobExecution {
                     "sliced execution owns the crash script; JobSpec must not inject faults");
     CHAOS_CHECK_MSG(!spec_.recover, "recovery mode is single-job only");
   }
+
+  // Evolving-graph support: called after each slice's cluster is built (and,
+  // on resume, after the durable sets are imported) but before Run/Resume,
+  // with the number of mutation epochs already baked into the state the
+  // cluster holds (0 for the first slice; the committed checkpoint's epoch
+  // after a preemption). The hook attaches the job's MutationFeed — see
+  // algorithms/evolving.h EvolvingController::Attach.
+  using AttachHook = std::function<void(Cluster<P>&, uint64_t applied_epochs)>;
+  void set_attach_hook(AttachHook hook) { attach_ = std::move(hook); }
 
   uint64_t next_superstep() const override { return next_superstep_; }
 
@@ -94,6 +104,11 @@ class TypedJobExecution final : public JobExecution {
                             std::make_move_iterator(committed.end()));
     ckpt_global_ = run.checkpoint_global;
     ckpt_side_ = run.checkpoint_side;
+    // A slice of an evolving job may have committed forced mutation
+    // checkpoints: the next slice must import the edge side that was live
+    // at the final commit and replay mutations from its epoch.
+    ckpt_edges_kind_ = run.checkpoint_edges_kind;
+    ckpt_epoch_ = run.checkpoint_epoch;
     next_superstep_ = run.checkpoint_superstep;
     out.end_superstep = next_superstep_;
     return out;
@@ -107,6 +122,9 @@ class TypedJobExecution final : public JobExecution {
  private:
   RunResult<P> RunFirst(const ClusterConfig& cfg) {
     cluster_ = std::make_unique<Cluster<P>>(cfg, prog_);
+    if (attach_) {
+      attach_(*cluster_, 0);
+    }
     return cluster_->Run(*spec_.input);
   }
 
@@ -118,9 +136,12 @@ class TypedJobExecution final : public JobExecution {
     cfg.resume_superstep = next_superstep_;
     auto replacement = std::make_unique<Cluster<P>>(cfg, prog_);
     replacement->PreparePartitioning(spec_.input->num_vertices);
-    replacement->ImportSets(*cluster_, SetKind::kEdges, SetKind::kEdges);
+    replacement->ImportSets(*cluster_, ckpt_edges_kind_, SetKind::kEdges);
     replacement->ImportSets(*cluster_, ckpt_side_, SetKind::kVertices);
     replacement->ImportSets(*cluster_, UpdatesCkptFor(ckpt_side_), UpdatesFor(next_superstep_));
+    if (attach_) {
+      attach_(*replacement, ckpt_epoch_);
+    }
 
     GraphMeta meta;
     meta.num_vertices = spec_.input->num_vertices;
@@ -134,11 +155,14 @@ class TypedJobExecution final : public JobExecution {
 
   P prog_;
   Finalize finalize_;
+  AttachHook attach_;
 
   std::unique_ptr<Cluster<P>> cluster_;  // previous slice = next slice's donor
   uint64_t next_superstep_ = 0;
   typename P::GlobalState ckpt_global_{};
   SetKind ckpt_side_ = SetKind::kCheckpointA;
+  SetKind ckpt_edges_kind_ = SetKind::kEdges;
+  uint64_t ckpt_epoch_ = 0;
   std::vector<typename P::OutputRecord> carried_outputs_;
   bool done_ = false;
   AlgoResult result_;

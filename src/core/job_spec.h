@@ -20,6 +20,7 @@
 
 #include "core/config.h"
 #include "core/metrics.h"
+#include "graph/mutation_log.h"
 #include "graph/types.h"
 
 namespace chaos {
@@ -63,6 +64,25 @@ struct RecoveryReport {
   int machines_after = 0;        // replacement cluster size
 };
 
+// Evolving-graph schedule (graph/mutation_log.h): when active, the job runs
+// `log.num_batches` mutation epochs — each convergence applies the next
+// seeded batch at the barrier and the run re-converges — and the final
+// values are the fixed point of the fully mutated graph.
+struct MutationSchedule {
+  MutationLogOptions log;  // log.num_batches == 0 -> static (inactive)
+  // Warm-start from the converged states via the incremental seeders
+  // (algorithms/incremental.h); false = full-recompute baseline (fresh
+  // InitVertex seeds every epoch, identical mutation-apply cost).
+  bool incremental = true;
+  // Arc budget for the per-deleted-edge WCC connectivity probe (planning is
+  // host-side, so the default probes exhaustively — one traversal per arc).
+  // A nonzero bound caps each probe; "don't know" then resets the whole
+  // component, trading recompute work for probe work.
+  uint64_t wcc_connectivity_budget = 0;
+
+  bool active() const { return log.num_batches > 0; }
+};
+
 // One job: everything needed to run an algorithm on a cluster, plus the
 // metadata the scheduler uses to place it.
 struct JobSpec {
@@ -70,6 +90,9 @@ struct JobSpec {
   std::string algorithm;
   // The prepared input (already through PrepareInput for `algorithm`).
   // Shared so a trace of jobs over the same graph holds one copy.
+  // EXCEPTION: with mutations.active(), `input` must be the RAW graph —
+  // the evolving driver prepares it per epoch (the mutation log mutates
+  // raw edges, not prepared arcs).
   std::shared_ptr<const InputGraph> input;
   // Per-job cluster shape: machine count, memory budget, seed, knobs.
   // `cluster.machines` is the number of machines the scheduler reserves;
@@ -82,6 +105,9 @@ struct JobSpec {
   // `cluster.faults` empty — the scheduler owns the preemption machinery.
   bool recover = false;
   RecoveryOptions recovery;
+
+  // Evolving graphs: only bfs/sssp/wcc support mutation schedules.
+  MutationSchedule mutations;
 
   // Scheduling metadata, ignored by single-job RunJob().
   std::string name;        // label for traces and reports

@@ -26,6 +26,8 @@ const char* BucketName(Bucket b) {
       return "preprocess";
     case Bucket::kCheckpoint:
       return "checkpoint";
+    case Bucket::kMutate:
+      return "mutate";
     case Bucket::kNumBuckets:
       break;
   }
@@ -199,6 +201,30 @@ double RunMetrics::VictimMissRate() const {
   return static_cast<double>(misses) / static_cast<double>(sent);
 }
 
+uint64_t RunMetrics::MutationEdgesApplied() const {
+  uint64_t total = 0;
+  for (const MutationEpochRecord& e : mutation_epochs) {
+    total += e.edges_inserted + e.edges_deleted;
+  }
+  return total;
+}
+
+uint64_t RunMetrics::MutationFrontierTotal() const {
+  uint64_t total = 0;
+  for (const MutationEpochRecord& e : mutation_epochs) {
+    total += e.frontier;
+  }
+  return total;
+}
+
+uint64_t RunMetrics::MutationResetsTotal() const {
+  uint64_t total = 0;
+  for (const MutationEpochRecord& e : mutation_epochs) {
+    total += e.resets;
+  }
+  return total;
+}
+
 std::string RunMetrics::Summary() const {
   std::string out;
   char line[256];
@@ -234,6 +260,15 @@ std::string RunMetrics::Summary() const {
                   static_cast<unsigned long long>(StolenChunks()),
                   static_cast<unsigned long long>(StealBackoffs()),
                   100.0 * VictimMissRate());
+    out += line;
+  }
+  if (!mutation_epochs.empty()) {
+    std::snprintf(line, sizeof(line),
+                  "  mutations: epochs=%llu edges_applied=%llu frontier=%llu resets=%llu\n",
+                  static_cast<unsigned long long>(mutation_epochs.size()),
+                  static_cast<unsigned long long>(MutationEdgesApplied()),
+                  static_cast<unsigned long long>(MutationFrontierTotal()),
+                  static_cast<unsigned long long>(MutationResetsTotal()));
     out += line;
   }
   if (recovered) {

@@ -26,7 +26,8 @@ enum class Bucket : int {
   kBarrier = 5,    // waiting at global barriers
   kPreprocess = 6, // streaming partition creation + vertex init
   kCheckpoint = 7, // 2-phase checkpoint writes
-  kNumBuckets = 8,
+  kMutate = 8,     // evolving graphs: apply-mutations stage (re-bin + reseed)
+  kNumBuckets = 9,
 };
 
 const char* BucketName(Bucket b);
@@ -78,6 +79,20 @@ struct PoolMetrics {
   TimeNs stall_time = 0;         // sim time spent waiting on spill I/O
 };
 
+// One applied mutation epoch of an evolving run (engine_core.cc,
+// ApplyMutationStage): when it ran, what it changed, and how much
+// re-convergence work the incremental seeds left behind.
+struct MutationEpochRecord {
+  uint64_t epoch = 0;          // 0-based index into the MutationLog
+  uint64_t superstep = 0;      // superstep whose barrier applied the batch
+  TimeNs start_time = 0;       // coordinator-side stage entry
+  TimeNs end_time = 0;         // coordinator-side stage exit (0 = aborted)
+  uint64_t edges_inserted = 0;  // raw-graph inserts in the batch
+  uint64_t edges_deleted = 0;   // raw-graph deletes in the batch
+  uint64_t frontier = 0;        // seed states re-marked changed
+  uint64_t resets = 0;          // seed states reset to their init value
+};
+
 struct RunMetrics {
   TimeNs total_time = 0;
   TimeNs preprocess_time = 0;  // up to the start of the first scatter
@@ -102,6 +117,9 @@ struct RunMetrics {
   uint64_t lost_work_supersteps = 0;  // supersteps re-run after the restart
   TimeNs time_to_recover = 0;   // takeover -> point of failure re-reached
   TimeNs crashed_run_time = 0;  // sim time spent in the aborted run
+  // Evolving-graph accounting: one record per mutation epoch applied by
+  // this run, in application order (empty for static runs).
+  std::vector<MutationEpochRecord> mutation_epochs;
 
   double total_seconds() const { return ToSeconds(total_time); }
 
@@ -141,6 +159,10 @@ struct RunMetrics {
   uint64_t StolenChunks() const;
   // Fraction of proposals that hit a victim with no open work.
   double VictimMissRate() const;
+  // Evolving-graph aggregates over mutation_epochs.
+  uint64_t MutationEdgesApplied() const;  // inserts + deletes, all epochs
+  uint64_t MutationFrontierTotal() const;
+  uint64_t MutationResetsTotal() const;
 
   std::string Summary() const;
 };

@@ -140,6 +140,11 @@ struct BarrierReleaseMsg {
   std::vector<uint8_t> global;  // canonical global state for the next phase
   bool done = false;
   bool crash = false;  // failure: stop without finishing, storage survives
+  bool mutate = false;  // evolving graphs: the program converged but the
+                        // attached MutationFeed has a pending batch — every
+                        // engine must run the apply-mutations stage (re-bin
+                        // the planned delta, reseed vertex states, commit)
+                        // and continue instead of finishing (§ISSUE 8).
 };
 
 }  // namespace chaos

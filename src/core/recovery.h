@@ -85,12 +85,12 @@ RunResult<P> RunWithRecovery(const ClusterConfig& config, P prog, const InputGra
     if (rcfg.machines == config.machines) {
       // Same-size replacement: chunk homes are machine-count-stable, so the
       // durable sets copy across position-for-position.
-      replacement.ImportSets(cluster, SetKind::kEdges, SetKind::kEdges);
+      replacement.ImportSets(cluster, first.checkpoint_edges_kind, SetKind::kEdges);
       replacement.ImportSets(cluster, first.checkpoint_side, SetKind::kVertices);
       replacement.ImportSets(cluster, usnap, resume_updates);
     } else {
       replacement.ImportRepartitioned(cluster, first.checkpoint_side, meta, usnap,
-                                      resume_updates);
+                                      resume_updates, first.checkpoint_edges_kind);
     }
     second = replacement.Resume(meta, first.checkpoint_global);
     // The replacement re-executes supersteps >= resume_superstep and

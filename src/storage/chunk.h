@@ -39,6 +39,12 @@ enum class SetKind : uint8_t {
   // parity follows kCheckpointA/B. Empty for pure-scatter programs.
   kUpdatesCkptA = 8,
   kUpdatesCkptB = 9,
+  // Second edge side for evolving graphs: an apply-mutations stage writes
+  // the post-batch edge set to the side the engine is NOT reading, commits
+  // at a barrier, then flips EngineCore::EdgesSet and deletes the old side
+  // — mutation application is atomic with respect to crashes, like the
+  // two-phase checkpoint (engine_core.cc, ApplyMutationStage).
+  kEdgesB = 10,
 };
 
 // The update-snapshot side paired with a committed checkpoint side.

@@ -46,6 +46,8 @@ const char* SetKindName(SetKind kind) {
       return "uckptA";
     case SetKind::kUpdatesCkptB:
       return "uckptB";
+    case SetKind::kEdgesB:
+      return "edgesB";
   }
   return "?";
 }

@@ -321,6 +321,13 @@ TEST(BenchDeterminismTest, Fig21At64MachinesIdenticalAcrossJobCounts) {
   ExpectJobsInvariant("fig21_stragglers", "--machines-list=64 --severities=1 --scale=8");
 }
 
+// The evolving sweep runs two cluster runs plus a golden per point; every
+// value printed or recorded is simulation-derived, so the mutation planner
+// (host-side seeding included) must be schedule-independent too.
+TEST(BenchDeterminismTest, FigEvolvingIdenticalAcrossJobCounts) {
+  ExpectJobsInvariant("fig_evolving", "--scale=9");
+}
+
 TEST(BenchSmokeTest, ListIncludesAllRegisteredBenches) {
   ASSERT_FALSE(g_bench_path.empty());
   FILE* pipe = popen((ShellQuote(g_bench_path) + " --list").c_str(), "r");
@@ -335,7 +342,7 @@ TEST(BenchSmokeTest, ListIncludesAllRegisteredBenches) {
   for (const char* name :
        {"capacity", "fig5", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
         "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21_stragglers",
-        "micro", "table1"}) {
+        "fig_evolving", "fig_memory", "micro", "table1"}) {
     EXPECT_NE(output.find(name), std::string::npos) << "missing bench: " << name;
   }
 }

@@ -31,6 +31,7 @@
 #include "algorithms/basic.h"
 #include "algorithms/runner.h"
 #include "graph/generators.h"
+#include "graph/mutation_log.h"
 #include "graph/ref/reference.h"
 #include "util/logging.h"
 #include "util/parallel.h"
@@ -65,6 +66,10 @@ struct Point {
   // policy (mode + backoff + victim_check) instead of the config default.
   bool policy_point = false;
   StealMode steal = StealMode::kStealOne;
+  // Mutation column: run an evolving-graph schedule (3 batches, preset by
+  // graph family) and check the incremental result against the golden model
+  // of the POST-mutation graph.
+  bool mutation_point = false;
   size_t index = 0;  // position in the grid; seeds derive from it
 };
 
@@ -73,6 +78,9 @@ std::string PointName(const Point& p) {
   name << p.algo << "_" << p.graph << "_m" << p.machines << "_" << FaultModeName(p.fault);
   if (p.policy_point) {
     name << "_" << StealModeName(p.steal);
+  }
+  if (p.mutation_point) {
+    name << "_mutated";
   }
   return name.str();
 }
@@ -127,6 +135,25 @@ std::vector<Point> BuildGrid() {
         p.fault = FaultMode::kStraggler;
         p.policy_point = true;
         p.steal = mode;
+        p.index = grid.size();
+        grid.push_back(p);
+      }
+    }
+  }
+  // The mutation column (appended after the 450-point block, same
+  // index-stability reason): the monotone algorithms under an evolving
+  // schedule — 3 mutation batches applied at convergence barriers, the
+  // incremental re-converged result checked against the golden model of the
+  // fully mutated graph. The preset follows the graph family: uniform churn
+  // for RMAT, hotspot writes for the road grid, insert/delete churn for web.
+  for (const std::string algo : {"bfs", "wcc", "sssp"}) {
+    for (const std::string graph : {"rmat", "grid", "web"}) {
+      for (const int machines : {1, 2, 4}) {
+        Point p;
+        p.algo = algo;
+        p.graph = graph;
+        p.machines = machines;
+        p.mutation_point = true;
         p.index = grid.size();
         grid.push_back(p);
       }
@@ -309,6 +336,55 @@ std::string RunPoint(const Point& p) {
   const InputGraph prepared = PrepareInput(p.algo, raw);
   AlgoParams params;  // defaults: source 0, 5 iterations
 
+  if (p.mutation_point) {
+    MutationLogOptions mopt;
+    mopt.num_batches = 3;
+    mopt.rate = 0.03;
+    mopt.preset = p.graph == "rmat"    ? MutatePreset::kUniform
+                  : p.graph == "grid" ? MutatePreset::kHotspot
+                                      : MutatePreset::kChurn;
+    mopt.seed = DeriveSeed(seed, 0x4d55);
+    // Evolving jobs take the RAW graph; preparation happens per epoch.
+    JobSpec spec = MakeJob(p.algo, raw, PointConfig(p.machines, seed), params);
+    spec.mutations.log = mopt;
+    const AlgoResult result = RunJob(spec);
+    if (result.metrics.mutation_epochs.size() != mopt.num_batches) {
+      std::ostringstream err;
+      err << "applied " << result.metrics.mutation_epochs.size() << " of "
+          << mopt.num_batches << " mutation epochs";
+      return err.str();
+    }
+    // Golden model of the fully mutated graph, replayed independently.
+    MutationLog log(raw, mopt);
+    const InputGraph mutated_raw = log.GraphAfter(mopt.num_batches);
+    const InputGraph mutated_prepared = PrepareInput(p.algo, mutated_raw);
+    if (p.algo == "sssp") {
+      // Tighter bound than the static sssp column: incremental warm starts
+      // must land on the same fixed point, not merely near it.
+      const auto expect = ref::DijkstraDistances(mutated_prepared, params.source);
+      for (size_t v = 0; v < expect.size(); ++v) {
+        if (std::isinf(expect[v]) != std::isinf(result.values[v]) ||
+            (!std::isinf(expect[v]) && std::abs(result.values[v] - expect[v]) > 1e-3)) {
+          std::ostringstream err;
+          err << "mutated sssp mismatch at vertex " << v << ": got " << result.values[v]
+              << ", want " << expect[v];
+          return err.str();
+        }
+      }
+    } else {
+      const std::string failure =
+          CheckAgainstReference(p.algo, mutated_raw, mutated_prepared, params, result);
+      if (!failure.empty()) {
+        return failure;
+      }
+    }
+    const LogCounts counts = log_scope.Delta();
+    if (counts.warnings() != 0 || counts.errors() != 0) {
+      return "mutation point logged warnings/errors; expected a clean run";
+    }
+    return "";
+  }
+
   AlgoResult result;
   switch (p.fault) {
     case FaultMode::kNone: {
@@ -414,7 +490,7 @@ INSTANTIATE_TEST_SUITE_P(AllPoints, DifferentialTest, ::testing::ValuesIn(BuildG
 // silently re-seed every point and mask history-dependent regressions.
 TEST(DifferentialGridTest, GridShapeAndSeedsAreStable) {
   const auto grid = BuildGrid();
-  ASSERT_EQ(grid.size(), 10u * 3u * 3u * 4u + 10u * 3u * 3u);
+  ASSERT_EQ(grid.size(), 10u * 3u * 3u * 4u + 10u * 3u * 3u + 3u * 3u * 3u);
   EXPECT_EQ(grid[0].algo, "bfs");
   EXPECT_EQ(grid[0].graph, "rmat");
   EXPECT_EQ(grid[0].machines, 1);
@@ -436,6 +512,16 @@ TEST(DifferentialGridTest, GridShapeAndSeedsAreStable) {
   EXPECT_EQ(grid[360].fault, FaultMode::kStraggler);
   EXPECT_EQ(grid[360].steal, StealMode::kStealOne);
   EXPECT_EQ(grid[449].steal, StealMode::kAdaptive);
+  EXPECT_FALSE(grid[449].mutation_point);
+  // The mutation column is strictly appended after the steal-policy block.
+  EXPECT_TRUE(grid[450].mutation_point);
+  EXPECT_EQ(grid[450].algo, "bfs");
+  EXPECT_EQ(grid[450].graph, "rmat");
+  EXPECT_EQ(grid[450].machines, 1);
+  EXPECT_TRUE(grid[476].mutation_point);
+  EXPECT_EQ(grid[476].algo, "sssp");
+  EXPECT_EQ(grid[476].graph, "web");
+  EXPECT_EQ(grid[476].machines, 4);
   // DeriveSeed is pinned: splitmix64-based, platform-stable.
   EXPECT_EQ(DeriveSeed(1, 0), DeriveSeed(1, 0));
   EXPECT_NE(DeriveSeed(1, 0), DeriveSeed(1, 1));
