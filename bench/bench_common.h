@@ -39,21 +39,23 @@ inline const std::vector<int>& MachineSweep() {
 // paper's bandwidth-bound regime (latency/transfer ratios preserved) and
 // runtime ratios remain meaningful. Without this, kilobyte chunks would be
 // latency-dominated — a regime the real system never operates in.
-inline ClusterConfig BenchClusterConfig(const InputGraph& graph, int machines,
-                                        uint64_t seed = 1,
-                                        StorageConfig storage = StorageConfig::Ssd(),
-                                        NetworkConfig net = NetworkConfig::FortyGigE()) {
+// Sized variant for streamed inputs (bench_fig_scale): the graph never
+// materializes, so the caller passes the two facts the formula needs.
+inline ClusterConfig BenchClusterConfigSized(uint64_t num_vertices, uint64_t input_wire_bytes,
+                                             int machines, uint64_t seed = 1,
+                                             StorageConfig storage = StorageConfig::Ssd(),
+                                             NetworkConfig net = NetworkConfig::FortyGigE()) {
   ClusterConfig cfg;
   cfg.machines = machines;
   cfg.seed = seed;
   cfg.storage = storage;
   cfg.net = net;
   constexpr uint64_t kBytesPerVertex = 48;  // generous bound over all programs
-  const uint64_t total_vertex_bytes = graph.num_vertices * kBytesPerVertex;
+  const uint64_t total_vertex_bytes = num_vertices * kBytesPerVertex;
   cfg.memory_budget_bytes =
       std::max<uint64_t>(total_vertex_bytes / (4 * static_cast<uint64_t>(machines)) + 1,
                          4 << 10);
-  const uint64_t wire = graph.input_wire_bytes();
+  const uint64_t wire = input_wire_bytes;
   cfg.chunk_bytes = std::min<uint64_t>(
       std::max<uint64_t>(wire / (static_cast<uint64_t>(machines) * 128) + 1, 2 << 10),
       4ull << 20);
@@ -70,6 +72,14 @@ inline ClusterConfig BenchClusterConfig(const InputGraph& graph, int machines,
   cfg.net.incast_penalty = shrink(cfg.net.incast_penalty);
   cfg.cost.ns_per_message = std::max(1.0, cfg.cost.ns_per_message * miniature);
   return cfg;
+}
+
+inline ClusterConfig BenchClusterConfig(const InputGraph& graph, int machines,
+                                        uint64_t seed = 1,
+                                        StorageConfig storage = StorageConfig::Ssd(),
+                                        NetworkConfig net = NetworkConfig::FortyGigE()) {
+  return BenchClusterConfigSized(graph.num_vertices, graph.input_wire_bytes(), machines,
+                                 seed, storage, net);
 }
 
 // The latency-miniaturization ratio BenchClusterConfig applied (configured

@@ -181,7 +181,9 @@ Task<> EngineCore::ApplyMutationStage() {
     BucketTimer t(ctx_.sim, metrics_, Bucket::kMutate);
     const auto& cost = ctx_.cost();
     ChunkWriter writer(&ctx_, &rng_, ctx_.config->fetch_window());
-    RecordBinner binner(parts_, sizeof(Edge), meta_.edge_wire_bytes, ctx_.config->chunk_bytes);
+    RecordBinner binner(parts_, sizeof(Edge), meta_.edge_wire_bytes,
+                        ctx_.config->chunk_bytes, ctx_.arena,
+                        RecordBinner::Format::kEdgeSoA);
     for (const PartitionId p : own_partitions_) {
       // Stream the old edge side of the partition — the read cost of
       // retiring the pre-batch edge set. The payloads are discarded: the
@@ -269,7 +271,7 @@ Task<> EngineCore::WriteSeedStates(PartitionId p, ChunkWriter* writer) {
   if (ctx_.pool != nullptr) {
     states.lease = co_await ctx_.pool->Acquire(count * record_bytes);
   }
-  states.batch = RecordBatch(record_bytes, count);
+  states.batch = RecordBatch(ctx_.arena, record_bytes, count);
   states.batch.CopyIn(0, delta.seed_states.data() + base * record_bytes, count);
   co_await WriteVertexSet(p, states.batch, SetKind::kVertices, writer);
   if (ctx_.config->checkpoint_interval > 0) {

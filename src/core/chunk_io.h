@@ -46,6 +46,11 @@ struct EngineContext {
   // engine of the cluster; null for static runs. The coordinator plans
   // epochs at convergence barriers, every engine applies the planned delta.
   class MutationFeed* mutations = nullptr;
+  // This machine's record arena (core/record_arena.h): binner fill blocks,
+  // RecordBatch buffers and chunk payloads lease here. May be null (bare
+  // test contexts) — consumers fall back to private arenas / direct
+  // aligned allocation. Host memory only; invisible to the simulation.
+  class RecordArena* arena = nullptr;
   MachineId machine = 0;
 
   int machines() const { return config->machines; }

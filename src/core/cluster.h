@@ -4,6 +4,7 @@
 #ifndef CHAOS_CORE_CLUSTER_H_
 #define CHAOS_CORE_CLUSTER_H_
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <utility>
@@ -11,7 +12,9 @@
 
 #include "core/buffer_pool.h"
 #include "core/compute_engine.h"
+#include "core/edge_chunk_view.h"
 #include "core/mutation_feed.h"
+#include "core/record_arena.h"
 #include "graph/types.h"
 
 namespace chaos {
@@ -43,7 +46,8 @@ class Cluster {
   using A = typename P::Accumulator;
   using G = typename P::GlobalState;
 
-  Cluster(ClusterConfig config, P prog) : config_(std::move(config)), prog_(std::move(prog)) {
+  Cluster(ClusterConfig config, P prog)
+      : config_(std::move(config)), prog_(std::move(prog)), sim_(config_.event_queue) {
     CHAOS_CHECK_GT(config_.machines, 0);
     net_ = std::make_unique<Network>(&sim_, config_.machines, config_.net);
     bus_ = std::make_unique<MessageBus>(&sim_, net_.get());
@@ -60,6 +64,10 @@ class Cluster {
           &sim_, &storage_.back()->device(), scfg.bandwidth_bps, scfg.access_latency,
           config_.EffectivePoolBudget()));
       storage_.back()->set_pool(pools_.back().get());
+      // Per-engine record arena (host memory; see core/record_arena.h).
+      // Chunks parked in any machine's storage may outlive it — payload
+      // deleters share the freelist state, so teardown order is free.
+      arenas_.push_back(std::make_unique<RecordArena>());
     }
     if (config_.placement == Placement::kCentralDirectory) {
       directory_ = std::make_unique<DirectoryServer>(&sim_, bus_.get(), /*home=*/0,
@@ -88,6 +96,34 @@ class Cluster {
     meta.vertex_id_wire_bytes = input.vertex_id_wire_bytes();
     IngestInput(input);
     return Execute(meta, prog_.InitGlobal(input.num_vertices));
+  }
+
+  // Streaming variant of Run() for graphs too large to materialize as one
+  // InputGraph: `next_batch` fills the (cleared) vector with the next run
+  // of edges and returns false when the stream is exhausted (a final
+  // partial batch with `true` then `false`-empty is also fine). Host
+  // memory holds one batch plus the simulated kInput chunks — never the
+  // full edge list. Chunk boundaries, placement and results are identical
+  // to Run() on the concatenated stream.
+  // Streaming variant of Run(): the edge list arrives in generator-supplied
+  // batches instead of a materialized InputGraph, so host memory is bounded
+  // by one batch plus the simulated chunks. `feed` is called once with a
+  // sink; it pushes every batch through the sink and returns. Chunking and
+  // placement are identical to Run() on the concatenated batches.
+  using BatchSink = std::function<void(const std::vector<Edge>&)>;
+  RunResult<P> RunStreaming(uint64_t num_vertices, bool weighted,
+                            const std::function<void(const BatchSink&)>& feed) {
+    CHAOS_CHECK(!config_.resume);
+    InputGraph shape;  // wire-format facts only; edges stay in the stream
+    shape.num_vertices = num_vertices;
+    shape.weighted = weighted;
+    GraphMeta meta;
+    meta.num_vertices = num_vertices;
+    meta.weighted = weighted;
+    meta.edge_wire_bytes = shape.edge_wire_bytes();
+    meta.vertex_id_wire_bytes = shape.vertex_id_wire_bytes();
+    IngestInputStream(num_vertices, meta.edge_wire_bytes, feed);
+    return Execute(meta, prog_.InitGlobal(num_vertices));
   }
 
   // Resumes from previously imported storage state (edges + vertex sets).
@@ -170,8 +206,8 @@ class Cluster {
     for (PartitionId p = 0; p < parts_->num_partitions(); ++p) {
       const VertexId base = parts_->Base(p);
       const uint64_t count = parts_->Count(p);
-      const auto nchunks = static_cast<uint32_t>((count + per_chunk - 1) / per_chunk);
-      for (uint32_t idx = 0; idx < nchunks; ++idx) {
+      const uint64_t nchunks = (count + per_chunk - 1) / per_chunk;
+      for (uint64_t idx = 0; idx < nchunks; ++idx) {
         const MachineId home = VertexChunkHome(p, idx, config_.machines);
         const SetId set{p, kind};
         const auto* chunks = storage_[static_cast<size_t>(home)]->HostGetSet(set);
@@ -234,12 +270,10 @@ class Cluster {
         const uint64_t n = std::min(per_chunk, count - start);
         std::vector<VState> slice(states.begin() + static_cast<int64_t>(base + start),
                                   states.begin() + static_cast<int64_t>(base + start + n));
-        const MachineId home =
-            VertexChunkHome(q, static_cast<uint32_t>(idx), config_.machines);
+        const MachineId home = VertexChunkHome(q, idx, config_.machines);
         storage_[static_cast<size_t>(home)]->HostAddChunk(
             SetId{q, SetKind::kVertices},
-            MakeChunk<VState>(static_cast<uint32_t>(idx), n * sizeof(VState),
-                              std::move(slice)));
+            MakeChunk<VState>(idx, n * sizeof(VState), std::move(slice)));
       }
     }
 
@@ -248,7 +282,7 @@ class Cluster {
     const uint64_t per_edge_chunk =
         std::max<uint64_t>(1, config_.chunk_bytes / meta.edge_wire_bytes);
     std::vector<std::vector<Edge>> bins(parts_->num_partitions());
-    std::vector<uint32_t> next_index(parts_->num_partitions(), 0);
+    std::vector<uint64_t> next_index(parts_->num_partitions(), 0);
     Rng rng(HashCombine(config_.seed, 0x4ec0u));
     auto flush = [&](PartitionId q) {
       const uint64_t wire = bins[q].size() * meta.edge_wire_bytes;
@@ -260,9 +294,11 @@ class Cluster {
       if (directory_ != nullptr) {
         directory_->HostRecord(set, next_index[q], target);
       }
+      // Re-binned edge chunks keep the SoA layout the engines expect to
+      // stream (core/edge_chunk_view.h).
       storage_[static_cast<size_t>(target)]->HostAddChunk(
-          set, MakeChunk<Edge>(next_index[q]++, wire, std::move(bins[q])));
-      bins[q] = {};
+          set, MakeSoaEdgeChunk(next_index[q]++, wire, bins[q], /*arena=*/nullptr));
+      bins[q].clear();
     };
     for (MachineId m = 0; m < from.config().machines; ++m) {
       StorageEngine* src = from.storage(m);
@@ -272,7 +308,9 @@ class Cluster {
         }
         for (const Chunk& c : *src->HostGetSet(id)) {
           const Chunk loaded = src->HostMaterialize(id, c);
-          for (const Edge& e : ChunkSpan<Edge>(loaded)) {
+          const EdgeChunkView view(loaded);
+          for (uint32_t i = 0; i < view.size(); ++i) {
+            const Edge e = view.At(i);
             // Validate both endpoints up front: PartitionOf(e.src) would
             // die with a cryptic range CHECK, and an out-of-range e.dst was
             // accepted silently — scatter later emits updates to vertices
@@ -358,7 +396,7 @@ class Cluster {
     const uint64_t per_chunk =
         std::max<uint64_t>(1, config_.chunk_bytes / input.edge_wire_bytes());
     const SetId input_set{0, SetKind::kInput};
-    uint32_t index = 0;
+    uint64_t index = 0;
     for (size_t start = 0; start < input.edges.size(); start += per_chunk) {
       const size_t n = std::min<uint64_t>(per_chunk, input.edges.size() - start);
       std::vector<Edge> slice(input.edges.begin() + static_cast<int64_t>(start),
@@ -372,6 +410,46 @@ class Cluster {
       }
       storage_[static_cast<size_t>(target)]->HostAddChunk(input_set, std::move(chunk));
       ++index;
+    }
+  }
+
+  // Batched version of IngestInput: same chunking, same seeded placement
+  // sequence, but the edge list arrives in caller-supplied batches. A carry
+  // buffer bridges batch boundaries so chunk contents match what one big
+  // edge vector would have produced.
+  void IngestInputStream(uint64_t num_vertices, uint64_t edge_wire_bytes,
+                         const std::function<void(const BatchSink&)>& feed) {
+    parts_ = std::make_unique<Partitioning>(
+        Partitioning::Compute(num_vertices, config_.machines, sizeof(VState) + sizeof(A),
+                              config_.memory_budget_bytes));
+    Rng rng(HashCombine(config_.seed, 0x1297u));
+    const uint64_t per_chunk = std::max<uint64_t>(1, config_.chunk_bytes / edge_wire_bytes);
+    const SetId input_set{0, SetKind::kInput};
+    uint64_t index = 0;
+    auto emit = [&](std::vector<Edge> slice) {
+      const uint64_t wire = slice.size() * edge_wire_bytes;
+      const auto target =
+          static_cast<MachineId>(rng.Below(static_cast<uint64_t>(config_.machines)));
+      Chunk chunk = MakeChunk<Edge>(index, wire, std::move(slice));
+      if (directory_ != nullptr) {
+        directory_->HostRecord(input_set, index, target);
+      }
+      storage_[static_cast<size_t>(target)]->HostAddChunk(input_set, std::move(chunk));
+      ++index;
+    };
+    std::vector<Edge> carry;
+    feed([&](const std::vector<Edge>& batch) {
+      carry.insert(carry.end(), batch.begin(), batch.end());
+      size_t start = 0;
+      while (carry.size() - start >= per_chunk) {
+        emit(std::vector<Edge>(carry.begin() + static_cast<int64_t>(start),
+                               carry.begin() + static_cast<int64_t>(start + per_chunk)));
+        start += per_chunk;
+      }
+      carry.erase(carry.begin(), carry.begin() + static_cast<int64_t>(start));
+    });
+    if (!carry.empty()) {
+      emit(std::move(carry));
     }
   }
 
@@ -398,6 +476,7 @@ class Cluster {
       ctx.faults = injector_.get();
       ctx.pool = pools_[static_cast<size_t>(m)].get();
       ctx.mutations = mutations_;
+      ctx.arena = arenas_[static_cast<size_t>(m)].get();
       ctx.machine = m;
       engines_.push_back(std::make_unique<ComputeEngine<P>>(
           std::move(ctx), &prog_, meta, parts_.get(),
@@ -533,6 +612,7 @@ class Cluster {
   std::unique_ptr<MessageBus> bus_;
   std::vector<std::unique_ptr<StorageEngine>> storage_;
   std::vector<std::unique_ptr<BufferPool>> pools_;
+  std::vector<std::unique_ptr<RecordArena>> arenas_;
   std::unique_ptr<DirectoryServer> directory_;
   std::unique_ptr<FaultInjector> injector_;
   std::unique_ptr<Partitioning> parts_;

@@ -137,8 +137,11 @@ Task<> EngineCore::Preprocess() {
   BucketTimer t(ctx_.sim, metrics_, Bucket::kPreprocess);
   const auto& cost = ctx_.cost();
   {
+    // Edge chunks are parked in the SoA layout so every later scatter
+    // superstep runs the vectorized loop (core/edge_chunk_view.h).
     RecordBinner edge_binner(parts_, sizeof(Edge), meta_.edge_wire_bytes,
-                             ctx_.config->chunk_bytes);
+                             ctx_.config->chunk_bytes, ctx_.arena,
+                             RecordBinner::Format::kEdgeSoA);
     ChunkWriter writer(&ctx_, &rng_, ctx_.config->fetch_window());
     std::unordered_map<VertexId, uint32_t> degree_counts;
     ChunkFetcher fetcher(&ctx_, &rng_, SetId{0, SetKind::kInput}, kInputEpoch,
@@ -169,7 +172,8 @@ Task<> EngineCore::Preprocess() {
     co_await edge_binner.FlushAll(&writer, SetKind::kEdges);
     if (count_degrees) {
       RecordBinner degree_binner(parts_, sizeof(UpdateRecord<uint32_t>),
-                                 meta_.vertex_id_wire_bytes + 4, ctx_.config->chunk_bytes);
+                                 meta_.vertex_id_wire_bytes + 4, ctx_.config->chunk_bytes,
+                                 ctx_.arena);
       for (const auto& [vertex, count] : degree_counts) {
         const UpdateRecord<uint32_t> record{vertex, count};
         degree_binner.Add(parts_->PartitionOf(vertex), record);
@@ -221,7 +225,7 @@ Task<> EngineCore::WriteVertexSetFromInit(PartitionId p, const std::vector<uint3
   if (ctx_.pool != nullptr) {
     states.lease = co_await ctx_.pool->Acquire(count * kernel_->vertex_state_bytes());
   }
-  states.batch = RecordBatch(kernel_->vertex_state_bytes(), count);
+  states.batch = RecordBatch(ctx_.arena, kernel_->vertex_state_bytes(), count);
   kernel_->InitVertexBatch(&states.batch, base, degrees.empty() ? nullptr : degrees.data());
   co_await WriteVertexSet(p, states.batch, SetKind::kVertices, writer);
 }
@@ -235,12 +239,12 @@ Task<PooledBatch> EngineCore::LoadVertexSet(PartitionId p) {
   if (ctx_.pool != nullptr) {
     out.lease = co_await ctx_.pool->Acquire(count * record_bytes);
   }
-  out.batch = RecordBatch(record_bytes, count);
+  out.batch = RecordBatch(ctx_.arena, record_bytes, count);
   const uint64_t per_chunk = VertsPerChunk();
-  const auto nchunks = static_cast<uint32_t>((count + per_chunk - 1) / per_chunk);
+  const uint64_t nchunks = (count + per_chunk - 1) / per_chunk;
   Semaphore window(ctx_.sim, ctx_.config->fetch_window());
   TaskGroup group(ctx_.sim);
-  for (uint32_t idx = 0; idx < nchunks; ++idx) {
+  for (uint64_t idx = 0; idx < nchunks; ++idx) {
     co_await window.Acquire();
     group.Spawn(LoadVertexChunk(p, idx, &out.batch, &window));
   }
@@ -248,7 +252,7 @@ Task<PooledBatch> EngineCore::LoadVertexSet(PartitionId p) {
   co_return out;
 }
 
-Task<> EngineCore::LoadVertexChunk(PartitionId p, uint32_t idx, RecordBatch* out,
+Task<> EngineCore::LoadVertexChunk(PartitionId p, uint64_t idx, RecordBatch* out,
                                    Semaphore* window) {
   const MachineId home = VertexChunkHome(p, idx, ctx_.machines());
   Message req;
@@ -277,9 +281,8 @@ Task<> EngineCore::WriteVertexSet(PartitionId p, const RecordBatch& states, SetK
     // per-chunk slice vector is materialized. Vertex (and checkpoint)
     // chunks live at hashed homes (§6.4); the writer window still bounds
     // outstanding requests.
-    Chunk chunk = states.BorrowChunk(static_cast<uint32_t>(idx), start, n,
-                                     n * states.record_bytes());
-    const MachineId home = VertexChunkHome(p, static_cast<uint32_t>(idx), ctx_.machines());
+    Chunk chunk = states.BorrowChunk(idx, start, n, n * states.record_bytes());
+    const MachineId home = VertexChunkHome(p, idx, ctx_.machines());
     const SetId target{p, kind};
     co_await writer->Write(target, std::move(chunk), home);
   }

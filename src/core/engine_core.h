@@ -191,7 +191,7 @@ class EngineCore {
   // Acquires pool pages for the partition's vertex states and fills the
   // batch from the indexed vertex chunks at their hashed homes (§6.4).
   Task<PooledBatch> LoadVertexSet(PartitionId p);
-  Task<> LoadVertexChunk(PartitionId p, uint32_t idx, RecordBatch* out, Semaphore* window);
+  Task<> LoadVertexChunk(PartitionId p, uint64_t idx, RecordBatch* out, Semaphore* window);
   // Write-back: borrows chunk-sized ranges of the batch zero-copy.
   Task<> WriteVertexSet(PartitionId p, const RecordBatch& states, SetKind kind,
                         ChunkWriter* writer);

@@ -12,6 +12,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/edge_chunk_view.h"
 #include "core/gas.h"
 #include "core/partition.h"
 #include "core/program_kernel.h"
@@ -109,9 +110,26 @@ class GasKernel final : public ProgramKernel {
       const Rec rec{dst, value};
       binner->Add(parts_->PartitionOf(dst), rec);
     };
-    for (const Edge& e : ChunkSpan<Edge>(edges)) {
-      CHAOS_DCHECK(e.src - base < states.size());
-      prog_->Scatter(global_, e.src, states[e.src - base], e, emit);
+    const EdgeChunkView view(edges);
+    if (view.soa()) {
+      // SoA fast path (core/edge_chunk_view.h): the four packed arrays
+      // stream sequentially — src scans and state indexing vectorize
+      // instead of striding over 24-byte structs.
+      const VertexId* __restrict src = view.src();
+      const VertexId* __restrict dst = view.dst();
+      const float* __restrict weight = view.weight();
+      const uint32_t* __restrict flags = view.flags();
+      const uint32_t n = view.size();
+      for (uint32_t i = 0; i < n; ++i) {
+        const Edge e{src[i], dst[i], weight[i], flags[i]};
+        CHAOS_DCHECK(e.src - base < states.size());
+        prog_->Scatter(global_, e.src, states[e.src - base], e, emit);
+      }
+    } else {
+      for (const Edge& e : ChunkSpan<Edge>(edges)) {
+        CHAOS_DCHECK(e.src - base < states.size());
+        prog_->Scatter(global_, e.src, states[e.src - base], e, emit);
+      }
     }
   }
 

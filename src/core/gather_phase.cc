@@ -5,7 +5,8 @@ namespace chaos {
 GatherPhase::GatherPhase(EngineCore* core)
     : core_(core),
       binner_(core->parts_, core->kernel_->update_stride_bytes(),
-              core->kernel_->update_wire_bytes(), core->ctx_.config->chunk_bytes),
+              core->kernel_->update_wire_bytes(), core->ctx_.config->chunk_bytes,
+              core->ctx_.arena),
       writer_(&core->ctx_, &core->rng_, core->ctx_.config->fetch_window()) {}
 
 Task<> GatherPhase::Run() {
@@ -42,7 +43,7 @@ Task<GatherPhase::Streamed> GatherPhase::Stream(PartitionId p, bool stolen) {
   if (c.ctx_.pool != nullptr) {
     out.accums.lease = co_await c.ctx_.pool->Acquire(count * c.kernel_->accum_bytes());
   }
-  out.accums.batch = RecordBatch(c.kernel_->accum_bytes(), count);
+  out.accums.batch = RecordBatch(c.ctx_.arena, c.kernel_->accum_bytes(), count);
   c.kernel_->InitAccumBatch(&out.accums.batch);
   const VertexId base = c.parts_->Base(p);
   const auto& cost = c.ctx_.cost();

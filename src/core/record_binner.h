@@ -4,52 +4,125 @@
 // tiny inline template so the per-record hot path (called from the typed
 // kernels' per-edge loops) stays free of virtual dispatch.
 //
-// Add() is synchronous; full buffers are parked and flushed by the owning
-// coroutine between chunks (FlushPending / FlushAll).
+// Buffering is arena-backed (core/record_arena.h): each partition fills a
+// fixed-capacity 64-byte-aligned block, so the per-record path is one
+// bounds check plus a fixed-size copy — no std::vector regrowth, and
+// zero heap allocations (tests/hotpath_alloc_test.cc asserts this). A full
+// block is parked as a finished Chunk zero-copy: the fill block itself
+// becomes the payload. In kEdgeSoA mode records are written straight into
+// the SoA region layout (core/edge_chunk_view.h), so each record is stored
+// exactly once — there is no transpose pass re-reading a by-then-cold fill
+// block on park. Only tail chunks (FlushAll with a part-filled block) pay a
+// compaction copy, because SoA region offsets depend on the record count.
+//
+// The kEdgeSoA path additionally uses software write-combining: records
+// are staged 16-at-a-time in a small L1-resident per-partition buffer and
+// flushed to the fill block's SoA regions with non-temporal stores, as six
+// whole cache lines per flush. Fill blocks total partitions × chunk_bytes
+// — far beyond L2 — so plain stores would pay a read-for-ownership miss
+// per line (doubling DRAM traffic) and evict the caller's working set;
+// streaming stores do neither. The NT path needs records_per_chunk to be a
+// multiple of the staging quantum (keeps every flush 16-byte aligned and
+// park boundaries on flush boundaries) and falls back to plain in-place
+// stores otherwise, or when SSE2 is unavailable.
+//
+// Add() is synchronous; parked chunks are flushed by the owning coroutine
+// between chunks (FlushPending / FlushAll).
 #ifndef CHAOS_CORE_RECORD_BINNER_H_
 #define CHAOS_CORE_RECORD_BINNER_H_
 
 #include <cstdint>
 #include <cstring>
-#include <deque>
 #include <memory>
 #include <utility>
 #include <vector>
 
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#define CHAOS_BINNER_HAS_NT_STORES 1
+#else
+#define CHAOS_BINNER_HAS_NT_STORES 0
+#endif
+
 #include "core/chunk_io.h"
+#include "core/edge_chunk_view.h"
 #include "core/partition.h"
+#include "core/record_arena.h"
 #include "storage/chunk.h"
 #include "util/common.h"
 
 namespace chaos {
 
-// Builds a chunk whose payload is a raw byte buffer holding `count` records.
-// The buffer comes from operator new (max_align_t-aligned), so ChunkSpan<T>
-// views of any POD record type are valid.
-inline Chunk MakeChunkFromBytes(uint32_t index, uint64_t model_bytes, uint32_t count,
-                                std::vector<uint8_t> bytes) {
+// Builds a chunk whose payload is a copy of `bytes` in properly aligned
+// storage: leased from `arena` when given, else a direct 64-byte-aligned
+// allocation. (The previous implementation parked the bytes in a
+// std::vector<uint8_t>, whose allocator only guarantees alignment for
+// uint8_t — the arena block is aligned for any record type, asserted by
+// ChunkSpan<T>.)
+inline Chunk MakeChunkFromBytes(uint64_t index, uint64_t model_bytes, uint32_t count,
+                                const uint8_t* bytes, uint64_t nbytes,
+                                RecordArena* arena = nullptr) {
   Chunk c;
   c.index = index;
   c.model_bytes = model_bytes;
   c.count = count;
-  c.payload_bytes = bytes.size();
-  auto holder = std::make_shared<std::vector<uint8_t>>(std::move(bytes));
-  c.data = std::shared_ptr<const void>(holder, holder->data());
+  c.payload_bytes = nbytes;
+  if (nbytes > 0) {
+    std::shared_ptr<uint8_t> payload;
+    if (arena != nullptr) {
+      payload = arena->LeaseShared(nbytes);
+    } else {
+      payload = std::shared_ptr<uint8_t>(
+          static_cast<uint8_t*>(::operator new(nbytes, std::align_val_t{RecordArena::kAlign})),
+          [](uint8_t* p) { ::operator delete(p, std::align_val_t{RecordArena::kAlign}); });
+    }
+    std::memcpy(payload.get(), bytes, nbytes);
+    c.data = std::shared_ptr<const void>(payload, payload.get());
+  }
   return c;
 }
 
 class RecordBinner {
  public:
+  // How parked chunks are laid out. kRaw fills the block AoS; kEdgeSoA
+  // (edge sets only, stride == sizeof(Edge)) fills it in the
+  // ChunkLayout::kEdgeSoA region layout for the vectorized scatter loop.
+  // Either way the full block parks as the chunk payload without a copy.
+  enum class Format : uint8_t { kRaw = 0, kEdgeSoA = 1 };
+
   // `record_stride_bytes` is the in-memory record width (sizeof(RecT));
   // `record_wire_bytes` the modeled on-disk/wire width the paper charges.
+  // `arena` is the owning engine's arena; null falls back to a private one
+  // (host-side and test callers).
   RecordBinner(const Partitioning* parts, uint64_t record_stride_bytes,
-               uint64_t record_wire_bytes, uint64_t chunk_bytes)
+               uint64_t record_wire_bytes, uint64_t chunk_bytes,
+               RecordArena* arena = nullptr, Format format = Format::kRaw)
       : parts_(parts),
         stride_(record_stride_bytes),
         record_wire_(record_wire_bytes),
         records_per_chunk_(RecordsPerChunk(chunk_bytes, record_wire_bytes)),
-        buffers_(parts->num_partitions()) {
+        fill_bytes_(records_per_chunk_ * record_stride_bytes),
+        format_(format),
+        cursor_stride_(format == Format::kEdgeSoA ? sizeof(VertexId)
+                                                  : record_stride_bytes),
+        soa_dst_off_(8ull * records_per_chunk_),
+        soa_weight_off_(16ull * records_per_chunk_),
+        soa_flags_off_(20ull * records_per_chunk_),
+        wc_enabled_(CHAOS_BINNER_HAS_NT_STORES && format == Format::kEdgeSoA &&
+                    records_per_chunk_ % kWcStage == 0),
+        bins_(parts->num_partitions()) {
     CHAOS_CHECK_GT(stride_, 0u);
+    if (format_ == Format::kEdgeSoA) {
+      CHAOS_CHECK_EQ(stride_, sizeof(Edge));
+    }
+    if (wc_enabled_) {
+      stage_ = std::make_unique<WcStage[]>(bins_.size());
+    }
+    if (arena == nullptr) {
+      own_arena_ = std::make_unique<RecordArena>();
+      arena = own_arena_.get();
+    }
+    arena_ = arena;
   }
 
   // Chunk capacity in records. Floored at one record per chunk so records
@@ -66,53 +139,312 @@ class RecordBinner {
   void Add(PartitionId p, const RecT& record) {
     static_assert(std::is_trivially_copyable_v<RecT>, "binned records must be POD");
     CHAOS_DCHECK(sizeof(RecT) == stride_);
-    auto& buffer = buffers_[p];
-    const auto* raw = reinterpret_cast<const uint8_t*>(&record);
-    buffer.insert(buffer.end(), raw, raw + sizeof(RecT));
-    ++emitted_;
-    if (buffer.size() >= records_per_chunk_ * stride_) {
-      pending_.emplace_back(p, std::move(buffer));
-      buffer.clear();
+    // The whole per-record hot path: a fixed-size copy plus a cursor bump
+    // (or a staging-buffer append on the write-combining path). Nothing
+    // else (record counts, fill thresholds) is read or written per record —
+    // emitted() derives counts from the cursors and staging fills instead.
+    if constexpr (std::is_same_v<RecT, Edge>) {
+      if (wc_enabled_) {
+        // Write-combining path: stage into the partition's L1-resident
+        // buffer; every 16th record flushes six whole cache lines to the
+        // fill block with non-temporal stores (no read-for-ownership, no
+        // cache pollution from the partitions × chunk_bytes fill set). The
+        // bin itself — and its lease — is only touched at flush time.
+        WcStage& st = stage_[p];
+        const uint32_t s = st.count;
+        st.src[s] = record.src;
+        st.dst[s] = record.dst;
+        st.weight[s] = record.weight;
+        st.flags[s] = record.flags;
+        st.count = s + 1;
+        if (st.count == kWcStage) {
+          FlushStage(p);
+        }
+        return;
+      }
+    }
+    Bin& bin = bins_[p];
+    if (bin.cursor == bin.end) {  // unleased bins have cursor == end == null
+      LeaseBin(&bin);
+    }
+    if constexpr (std::is_same_v<RecT, Edge>) {
+      if (format_ == Format::kEdgeSoA) {
+        // Store each field straight into its SoA region: the cursor walks
+        // the 8-byte src region, the dst slot sits at a constant offset
+        // from it, and the 4-byte weight/flags slots at half the cursor's
+        // progress past the region base.
+        uint8_t* const cur = bin.cursor;
+        uint8_t* const base = bin.end - soa_dst_off_;
+        const auto half = static_cast<uint64_t>(cur - base) >> 1;
+        *reinterpret_cast<VertexId*>(cur) = record.src;
+        *reinterpret_cast<VertexId*>(cur + soa_dst_off_) = record.dst;
+        *reinterpret_cast<float*>(base + soa_weight_off_ + half) = record.weight;
+        *reinterpret_cast<uint32_t*>(base + soa_flags_off_ + half) = record.flags;
+        bin.cursor = cur + sizeof(VertexId);
+        if (bin.cursor == bin.end) {
+          Park(p);
+        }
+        return;
+      }
+    }
+    CHAOS_DCHECK(format_ == Format::kRaw);
+    std::memcpy(bin.cursor, &record, sizeof(RecT));
+    bin.cursor += sizeof(RecT);
+    if (bin.cursor == bin.end) {
+      Park(p);
     }
   }
 
-  bool HasPending() const { return !pending_.empty(); }
-  uint64_t emitted() const { return emitted_; }
+  bool HasPending() const { return pending_head_ < pending_.size(); }
+
+  // Records accepted so far: everything parked plus the partial fills. The
+  // per-bin sum keeps this O(partitions), which is fine for its once-per-
+  // phase metrics callers and keeps the per-record path free of counters.
+  uint64_t emitted() const {
+    uint64_t filling = 0;
+    for (const Bin& bin : bins_) {
+      filling += static_cast<uint64_t>(bin.cursor - bin.block.data());
+    }
+    uint64_t staged = 0;
+    if (wc_enabled_) {
+      for (size_t p = 0; p < bins_.size(); ++p) {
+        staged += stage_[p].count;
+      }
+    }
+    return parked_records_ + filling / cursor_stride_ + staged;
+  }
+  const RecordArena& arena() const { return *arena_; }
+
+  // Test hook: fast-forwards chunk numbering (regression coverage for
+  // 32-bit index wraparound without binning 2^32 chunks).
+  void set_next_index_for_test(uint64_t index) { next_index_ = index; }
+
+  // Test hook: drains the oldest parked chunk without a ChunkWriter.
+  std::pair<PartitionId, Chunk> PopPendingForTest() {
+    CHAOS_CHECK(HasPending());
+    std::pair<PartitionId, Chunk> out = std::move(pending_[pending_head_]);
+    ++pending_head_;
+    if (pending_head_ == pending_.size()) {
+      pending_.clear();
+      pending_head_ = 0;
+    }
+    return out;
+  }
 
   Task<> FlushPending(ChunkWriter* writer, SetKind kind) {
-    while (!pending_.empty()) {
-      auto [p, bytes] = std::move(pending_.front());
-      pending_.pop_front();
-      const auto count = static_cast<uint32_t>(bytes.size() / stride_);
-      const uint64_t wire = count * record_wire_;
+    while (pending_head_ < pending_.size()) {
       // NOTE: named locals (not braced temporaries) around coroutine calls;
       // g++ 12 miscompiles braced aggregate temporaries passed directly as
       // coroutine arguments (see docs in sim/task.h).
+      const PartitionId p = pending_[pending_head_].first;
+      Chunk chunk = std::move(pending_[pending_head_].second);
+      ++pending_head_;
+      if (pending_head_ == pending_.size()) {
+        pending_.clear();  // keeps capacity; the park path stays alloc-free
+        pending_head_ = 0;
+      }
       const SetId target{p, kind};
-      Chunk chunk = MakeChunkFromBytes(next_index_++, wire, count, std::move(bytes));
       co_await writer->Write(target, std::move(chunk), parts_->Master(p));
     }
   }
 
   Task<> FlushAll(ChunkWriter* writer, SetKind kind) {
-    for (PartitionId p = 0; p < buffers_.size(); ++p) {
-      if (!buffers_[p].empty()) {
-        pending_.emplace_back(p, std::move(buffers_[p]));
-        buffers_[p].clear();
-      }
-    }
+    ParkPartialFills();
     co_await FlushPending(writer, kind);
   }
 
+  // Test hook: parks every partial fill — including write-combining tails
+  // still sitting in staging buffers — without needing a ChunkWriter.
+  void ParkAllForTest() { ParkPartialFills(); }
+
  private:
+  struct Bin {
+    // Hot pair, first in the struct: Add() touches nothing else until the
+    // block fills. An unleased bin has cursor == end == nullptr.
+    uint8_t* cursor = nullptr;  // next write position in the fill block
+    uint8_t* end = nullptr;     // fill boundary (block start + fill_bytes_)
+    RecordArena::Block block;   // owns the fixed-capacity fill buffer (AoS)
+  };
+
+  // Per-partition write-combining staging buffer (kEdgeSoA NT path): one
+  // flush quantum of records, SoA, 16-byte aligned for the streaming
+  // copies. All partitions' buffers together stay L1-resident (384 bytes
+  // per partition), which is the point: per-record stores land here, and
+  // only whole lines ever travel to the (cache-bypassing) fill blocks.
+  static constexpr uint32_t kWcStage = 16;
+  struct WcStage {
+    uint32_t count = 0;  // records currently staged
+    alignas(16) VertexId src[kWcStage];
+    alignas(16) VertexId dst[kWcStage];
+    alignas(16) float weight[kWcStage];
+    alignas(16) uint32_t flags[kWcStage];
+  };
+
+  void LeaseBin(Bin* bin) {
+    bin->block = arena_->Lease(fill_bytes_);
+    bin->cursor = bin->block.data();
+    // The leased block may be a larger pow2 class; the chunk boundary is
+    // still records_per_chunk_ so chunk record counts are
+    // capacity-independent. (For kEdgeSoA the cursor walks the 8-byte src
+    // region, so the boundary is the region's end, not fill_bytes_.)
+    bin->end = bin->cursor + records_per_chunk_ * cursor_stride_;
+  }
+
+  void ParkPartialFills() {
+    for (PartitionId p = 0; p < bins_.size(); ++p) {
+      if (wc_enabled_) {
+        DrainStagePlain(p);  // staged records become part of the tail fill
+      }
+      if (bins_[p].cursor != bins_[p].block.data()) {  // partial fill
+        Park(p);
+      }
+    }
+  }
+
+  // Flushes a full staging buffer to the partition's fill block as six
+  // whole cache lines of non-temporal stores: two 128-byte runs (src, dst)
+  // and two 64-byte runs (weight, flags). All destinations stay 16-byte
+  // aligned because the block base is 64-byte aligned, flushes advance in
+  // kWcStage-record quanta, and the region offsets are multiples of
+  // 8 * records_per_chunk_ with records_per_chunk_ % kWcStage == 0.
+  void FlushStage(PartitionId p) {
+#if CHAOS_BINNER_HAS_NT_STORES
+    Bin& bin = bins_[p];
+    if (bin.cursor == bin.end) {
+      LeaseBin(&bin);
+    }
+    WcStage& st = stage_[p];
+    uint8_t* const cur = bin.cursor;
+    uint8_t* const base = bin.end - soa_dst_off_;  // == block start
+    const auto half = static_cast<uint64_t>(cur - base) >> 1;
+    const auto* s_src = reinterpret_cast<const __m128i*>(st.src);
+    const auto* s_dst = reinterpret_cast<const __m128i*>(st.dst);
+    auto* d_src = reinterpret_cast<__m128i*>(cur);
+    auto* d_dst = reinterpret_cast<__m128i*>(cur + soa_dst_off_);
+    for (uint32_t k = 0; k < kWcStage / 2; ++k) {
+      _mm_stream_si128(d_src + k, _mm_load_si128(s_src + k));
+      _mm_stream_si128(d_dst + k, _mm_load_si128(s_dst + k));
+    }
+    const auto* s_weight = reinterpret_cast<const __m128i*>(st.weight);
+    const auto* s_flags = reinterpret_cast<const __m128i*>(st.flags);
+    auto* d_weight = reinterpret_cast<__m128i*>(base + soa_weight_off_ + half);
+    auto* d_flags = reinterpret_cast<__m128i*>(base + soa_flags_off_ + half);
+    for (uint32_t k = 0; k < kWcStage / 4; ++k) {
+      _mm_stream_si128(d_weight + k, _mm_load_si128(s_weight + k));
+      _mm_stream_si128(d_flags + k, _mm_load_si128(s_flags + k));
+    }
+    st.count = 0;
+    bin.cursor = cur + kWcStage * sizeof(VertexId);
+    if (bin.cursor == bin.end) {
+      Park(p);
+    }
+#else
+    (void)p;
+#endif
+  }
+
+  // Writes a part-filled staging buffer into the fill block with plain
+  // stores (tail records at FlushAll time — cold path). The cursor sits on
+  // a flush boundary, so the fill can't complete mid-drain.
+  void DrainStagePlain(PartitionId p) {
+    WcStage& st = stage_[p];
+    if (st.count == 0) {
+      return;
+    }
+    Bin& bin = bins_[p];
+    if (bin.cursor == bin.end) {
+      LeaseBin(&bin);
+    }
+    uint8_t* const base = bin.end - soa_dst_off_;
+    for (uint32_t i = 0; i < st.count; ++i) {
+      uint8_t* const cur = bin.cursor;
+      const auto half = static_cast<uint64_t>(cur - base) >> 1;
+      *reinterpret_cast<VertexId*>(cur) = st.src[i];
+      *reinterpret_cast<VertexId*>(cur + soa_dst_off_) = st.dst[i];
+      *reinterpret_cast<float*>(base + soa_weight_off_ + half) = st.weight[i];
+      *reinterpret_cast<uint32_t*>(base + soa_flags_off_ + half) = st.flags[i];
+      bin.cursor = cur + sizeof(VertexId);
+    }
+    CHAOS_DCHECK(bin.cursor < bin.end);
+    st.count = 0;
+  }
+
+  // Finishes the partition's fill block as a pending chunk.
+  void Park(PartitionId p) {
+#if CHAOS_BINNER_HAS_NT_STORES
+    if (wc_enabled_) {
+      // Drain the write-combining buffers before the payload is published:
+      // NT stores are weakly ordered, and the chunk may be consumed on
+      // another thread.
+      _mm_sfence();
+    }
+#endif
+    Bin& bin = bins_[p];
+    const auto count = static_cast<uint32_t>(
+        static_cast<uint64_t>(bin.cursor - bin.block.data()) / cursor_stride_);
+    parked_records_ += count;
+    Chunk chunk;
+    chunk.index = next_index_++;
+    chunk.model_bytes = count * record_wire_;
+    chunk.count = count;
+    chunk.payload_bytes = count * stride_;
+    if (format_ == Format::kEdgeSoA) {
+      chunk.layout = ChunkLayout::kEdgeSoA;
+      if (count == records_per_chunk_) {
+        // Full block: the in-place SoA fill already is the payload.
+        chunk.data = std::move(bin.block).ToShared();
+      } else {
+        // Tail chunk: region offsets depend on the count, so compact the
+        // capacity-offset regions into an exact-count payload. Rare — only
+        // FlushAll parks part-filled blocks.
+        std::shared_ptr<uint8_t> payload = arena_->LeaseShared(chunk.payload_bytes);
+        CompactSoaTail(bin.block.data(), count, payload.get());
+        chunk.data = std::shared_ptr<const void>(payload, payload.get());
+      }
+    } else {
+      // The fill block itself becomes the (immutable) chunk payload; a
+      // fresh block is leased on the partition's next Add.
+      chunk.data = std::move(bin.block).ToShared();
+    }
+    bin = Bin{};
+    pending_.emplace_back(p, std::move(chunk));
+  }
+
+  // Copies the four part-filled SoA regions (at capacity-based offsets in
+  // the fill block) into `out` at count-based offsets.
+  void CompactSoaTail(const uint8_t* block, uint32_t count, uint8_t* out) const {
+    std::memcpy(out, block, 8ull * count);
+    std::memcpy(out + 8ull * count, block + soa_dst_off_, 8ull * count);
+    std::memcpy(out + 16ull * count, block + soa_weight_off_, 4ull * count);
+    std::memcpy(out + 20ull * count, block + soa_flags_off_, 4ull * count);
+  }
+
   const Partitioning* parts_;
   uint64_t stride_;
   uint64_t record_wire_;
   uint64_t records_per_chunk_;
-  std::vector<std::vector<uint8_t>> buffers_;
-  std::deque<std::pair<PartitionId, std::vector<uint8_t>>> pending_;
-  uint32_t next_index_ = 0;
-  uint64_t emitted_ = 0;
+  uint64_t fill_bytes_;
+  Format format_;
+  // Bytes the bin cursor advances per record: stride_ for kRaw (AoS fill),
+  // sizeof(VertexId) for kEdgeSoA (the cursor walks the src region).
+  uint64_t cursor_stride_;
+  // kEdgeSoA region offsets within a full fill block (capacity-based).
+  uint64_t soa_dst_off_;
+  uint64_t soa_weight_off_;
+  uint64_t soa_flags_off_;
+  // True when the kEdgeSoA fill runs through the write-combining staging
+  // path (SSE2 present and records_per_chunk_ a staging-quantum multiple).
+  bool wc_enabled_;
+  RecordArena* arena_ = nullptr;
+  std::unique_ptr<RecordArena> own_arena_;
+  std::vector<Bin> bins_;
+  std::unique_ptr<WcStage[]> stage_;  // one per partition; null unless wc_enabled_
+  // Drained front-to-back by FlushPending; vector + head cursor instead of
+  // a deque so steady-state parking reuses capacity.
+  std::vector<std::pair<PartitionId, Chunk>> pending_;
+  size_t pending_head_ = 0;
+  uint64_t next_index_ = 0;
+  uint64_t parked_records_ = 0;
 };
 
 }  // namespace chaos

@@ -5,7 +5,8 @@ namespace chaos {
 ScatterPhase::ScatterPhase(EngineCore* core)
     : core_(core),
       binner_(core->parts_, core->kernel_->update_stride_bytes(),
-              core->kernel_->update_wire_bytes(), core->ctx_.config->chunk_bytes),
+              core->kernel_->update_wire_bytes(), core->ctx_.config->chunk_bytes,
+              core->ctx_.arena),
       writer_(&core->ctx_, &core->rng_, core->ctx_.config->fetch_window()) {}
 
 Task<> ScatterPhase::Run() {

@@ -40,19 +40,16 @@ class ZipfSampler {
   std::vector<double> cdf_;
 };
 
-}  // namespace
-
-InputGraph GenerateRmat(const RmatOptions& options) {
+// Shared RMAT core: one code path drives both the materializing and the
+// streaming entry points, so their RNG consumption (and thus the edge
+// sequence) cannot diverge. `emit` returns whether to keep generating.
+template <typename EmitFn>
+void RmatEdges(const RmatOptions& options, EmitFn&& emit) {
   CHAOS_CHECK_LE(options.scale, 40u);
   const double d = 1.0 - options.a - options.b - options.c;
   CHAOS_CHECK_MSG(d > 0.0, "RMAT quadrant probabilities must sum to < 1");
   const uint64_t n = 1ull << options.scale;
   const uint64_t m = n * options.edges_per_vertex;
-
-  InputGraph g;
-  g.num_vertices = n;
-  g.weighted = options.weighted;
-  g.edges.reserve(m);
 
   Rng rng(options.seed);
   std::vector<uint32_t> perm;
@@ -85,9 +82,43 @@ InputGraph GenerateRmat(const RmatOptions& options) {
     e.src = options.permute_ids ? perm[src] : src;
     e.dst = options.permute_ids ? perm[dst] : dst;
     e.weight = options.weighted ? RandomWeight(rng, 100.0) : 1.0f;
-    g.edges.push_back(e);
+    if (!emit(e)) {
+      return;
+    }
   }
+}
+
+}  // namespace
+
+InputGraph GenerateRmat(const RmatOptions& options) {
+  InputGraph g;
+  g.num_vertices = 1ull << options.scale;
+  g.weighted = options.weighted;
+  g.edges.reserve(g.num_vertices * options.edges_per_vertex);
+  RmatEdges(options, [&g](const Edge& e) {
+    g.edges.push_back(e);
+    return true;
+  });
   return g;
+}
+
+void StreamRmat(const RmatOptions& options, uint64_t batch_edges,
+                const std::function<bool(const std::vector<Edge>&)>& sink) {
+  CHAOS_CHECK_GT(batch_edges, 0u);
+  std::vector<Edge> batch;
+  batch.reserve(batch_edges);
+  bool more = true;
+  RmatEdges(options, [&](const Edge& e) {
+    batch.push_back(e);
+    if (batch.size() >= batch_edges) {
+      more = sink(batch);
+      batch.clear();
+    }
+    return more;
+  });
+  if (more && !batch.empty()) {
+    sink(batch);
+  }
 }
 
 InputGraph GenerateWebGraph(const WebGraphOptions& options) {

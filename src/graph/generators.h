@@ -10,6 +10,7 @@
 #define CHAOS_GRAPH_GENERATORS_H_
 
 #include <cstdint>
+#include <functional>
 
 #include "graph/types.h"
 #include "util/rng.h"
@@ -30,6 +31,17 @@ struct RmatOptions {
 };
 
 InputGraph GenerateRmat(const RmatOptions& options);
+
+// Streams the exact edge sequence GenerateRmat(options) produces — same RNG
+// consumption, same permutation, bit-identical edges (pinned by
+// tests/graph_test.cc) — in batches of at most `batch_edges`, without ever
+// materializing the full edge list. This is what lets bench_fig_scale
+// ingest paper-scale graphs (>= 100M edges in CI, >= 1B locally) with host
+// memory bounded by one batch plus the simulated chunks. The sink returns
+// whether to keep generating; returning false stops after the current
+// batch (used to sample a prefix without paying for the full stream).
+void StreamRmat(const RmatOptions& options, uint64_t batch_edges,
+                const std::function<bool(const std::vector<Edge>&)>& sink);
 
 struct WebGraphOptions {
   uint64_t num_pages = 1 << 16;

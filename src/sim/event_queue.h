@@ -1,5 +1,19 @@
 // Deterministic event queue: events fire in (time, insertion sequence) order,
 // so simultaneous events run in the order they were scheduled.
+//
+// Two interchangeable implementations live behind one class:
+//
+//   * kBinaryHeap — the classic array heap. O(log n) push/pop, trivially
+//     correct; kept as the differential golden for the calendar structure.
+//   * kCalendar — a calendar queue (Brown '88) with pow2 bucket widths and
+//     lazily sorted buckets. Amortized O(1) push/pop at the event rates the
+//     cluster simulation produces, and allocation-free in steady state
+//     (tests/hotpath_alloc_test.cc asserts this).
+//
+// Both pop in strictly ascending (time, seq) order — a total order, since
+// seq is unique — so simulation results are bitwise identical regardless of
+// the implementation picked. tests/sim_test.cc drives both on identical
+// seeded streams and asserts identical pop order.
 #ifndef CHAOS_SIM_EVENT_QUEUE_H_
 #define CHAOS_SIM_EVENT_QUEUE_H_
 
@@ -22,7 +36,7 @@ namespace chaos {
 // pushing an event performs no heap allocation at all, where std::function
 // would allocate (libstdc++ inlines only 16 bytes) on every Push. This is
 // the event "pooling" of the simulator: callback storage lives inside the
-// heap slot the queue already owns. Oversized captures fall back to the
+// bucket slot the queue already owns. Oversized captures fall back to the
 // heap transparently.
 class EventFn {
  public:
@@ -116,6 +130,14 @@ class EventFn {
   const Ops* ops_ = nullptr;
 };
 
+// Which event-queue data structure a Simulator (and thus a Cluster) uses.
+// Selected via ClusterConfig::event_queue; kCalendar is the default hot-path
+// structure, kBinaryHeap the differential golden.
+enum class EventQueueImpl : uint8_t {
+  kBinaryHeap = 0,
+  kCalendar = 1,
+};
+
 class EventQueue {
  public:
   struct Event {
@@ -124,30 +146,75 @@ class EventQueue {
     EventFn fn;
   };
 
-  EventQueue() { heap_.reserve(kInitialCapacity); }
+  explicit EventQueue(EventQueueImpl impl = EventQueueImpl::kCalendar);
 
   void Push(TimeNs time, EventFn fn);
   // Removes and returns the earliest event. Queue must be non-empty.
   Event Pop();
-  const Event& Peek() const;
+  // Returns the earliest event without removing it. Non-const because the
+  // calendar implementation advances its cursor / sorts its current bucket
+  // to locate the minimum (the logical contents are unchanged).
+  const Event& Peek();
 
-  bool empty() const { return heap_.empty(); }
-  size_t size() const { return heap_.size(); }
+  bool empty() const { return size_ == 0; }
+  size_t size() const { return size_; }
   uint64_t total_pushed() const { return next_seq_; }
+  EventQueueImpl impl() const { return impl_; }
 
  private:
   // Typical cluster runs keep hundreds of in-flight events; reserving up
   // front keeps the first supersteps from re-allocating the heap array.
   static constexpr size_t kInitialCapacity = 256;
+  // Calendar geometry. Buckets double whenever occupancy exceeds
+  // kGrowOccupancy events per bucket (amortized rebuild, which also
+  // re-estimates the bucket width from observed inter-event gaps).
+  static constexpr size_t kInitialBuckets = 64;   // power of two
+  static constexpr size_t kMaxBuckets = 1 << 20;  // power of two
+  static constexpr size_t kGrowOccupancy = 4;
+  static constexpr int kInitialShift = 12;  // 4096 ns buckets until tuned
+  static constexpr int kMaxShift = 40;
 
   static bool Earlier(const Event& a, const Event& b) {
     return a.time < b.time || (a.time == b.time && a.seq < b.seq);
   }
+  // Buckets are kept sorted *descending* so the minimum is back() and Pop is
+  // a pop_back. Strict order; (time, seq) keys are unique.
+  static bool Later(const Event& a, const Event& b) { return Earlier(b, a); }
+
+  // --- binary heap ---
+  void HeapPush(Event ev);
+  Event HeapPop();
   void SiftUp(size_t i);
   void SiftDown(size_t i);
 
-  std::vector<Event> heap_;  // binary min-heap by (time, seq)
+  // --- calendar ---
+  size_t BucketOf(TimeNs time) const {
+    return static_cast<size_t>(static_cast<uint64_t>(time) >> shift_) & (buckets_.size() - 1);
+  }
+  TimeNs BucketWidth() const { return TimeNs{1} << shift_; }
+  void CalPush(Event ev);
+  Event CalPop();
+  // Positions cursor_ on the bucket holding the global minimum and sorts it;
+  // afterwards buckets_[cursor_].back() is the minimum event. Requires
+  // size_ > 0.
+  void CalLocateMin();
+  void JumpTo(TimeNs time);
+  void SortCurrent();
+  void Rebuild(size_t new_bucket_count);
+
+  EventQueueImpl impl_;
+  size_t size_ = 0;
   uint64_t next_seq_ = 0;
+
+  std::vector<Event> heap_;  // binary min-heap by (time, seq)
+
+  std::vector<std::vector<Event>> buckets_;  // calendar; pow2 bucket count
+  std::vector<Event> scratch_;               // reused by Rebuild
+  int shift_ = kInitialShift;                // bucket width = 1 << shift_ ns
+  size_t cursor_ = 0;                        // bucket being drained
+  TimeNs cur_start_ = 0;                     // window of cursor_'s rotation
+  TimeNs cur_end_ = 0;
+  bool cur_sorted_ = false;  // buckets_[cursor_] sorted descending?
 };
 
 }  // namespace chaos

@@ -19,7 +19,10 @@ namespace chaos {
 
 class Simulator {
  public:
-  Simulator() = default;
+  // `impl` selects the event-queue structure (ClusterConfig::event_queue);
+  // the pop order — and thus every simulation result — is identical for all
+  // implementations.
+  explicit Simulator(EventQueueImpl impl = EventQueueImpl::kCalendar) : queue_(impl) {}
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 

@@ -87,19 +87,34 @@ struct SetIdHash {
 
 std::string SetIdName(const SetId& id);
 
+// In-memory layout of a chunk payload. kAoS is the default: `count` records
+// of the set's record type back to back. kEdgeSoA is the vectorization
+// layout for edge sets: four packed arrays src[count] | dst[count] |
+// weight[count] | flags[count] (see core/edge_chunk_view.h). Layout is a
+// payload property — model_bytes (the simulated footprint) is identical for
+// both, so the simulation cannot observe the choice.
+enum class ChunkLayout : uint8_t {
+  kAoS = 0,
+  kEdgeSoA = 1,
+};
+
 struct Chunk {
-  uint32_t index = 0;          // unique within its set
+  // Unique within its set. 64-bit: paper-scale runs with miniaturized
+  // chunk_bytes push sequential-set chunk counts past what 32 bits can
+  // index without silent wraparound (tests/core_test.cc pins this).
+  uint64_t index = 0;
   uint64_t model_bytes = 0;    // modeled storage/wire footprint
   uint32_t count = 0;          // number of records in the payload
   uint64_t payload_bytes = 0;  // in-memory byte length of the payload array
   uint64_t spill_id = 0;       // engine-assigned unique id for file spilling
-  std::shared_ptr<const void> data;  // contiguous array of `count` records
+  ChunkLayout layout = ChunkLayout::kAoS;
+  std::shared_ptr<const void> data;  // payload array (layout above)
 };
 
 // Builds a chunk from a typed record vector. The vector is moved to shared
 // storage; readers view it zero-copy through ChunkSpan<T>().
 template <typename T>
-Chunk MakeChunk(uint32_t index, uint64_t model_bytes, std::vector<T> records) {
+Chunk MakeChunk(uint64_t index, uint64_t model_bytes, std::vector<T> records) {
   static_assert(std::is_trivially_copyable_v<T>, "chunk records must be POD");
   Chunk c;
   c.index = index;
@@ -112,7 +127,8 @@ Chunk MakeChunk(uint32_t index, uint64_t model_bytes, std::vector<T> records) {
 }
 
 // Zero-copy typed view of a chunk payload. The caller must know the record
-// type from the set kind (enforced by protocol, checked by tests).
+// type from the set kind (enforced by protocol, checked by tests). Only
+// valid for AoS payloads — SoA edge chunks are read through EdgeChunkView.
 template <typename T>
 std::span<const T> ChunkSpan(const Chunk& c) {
   static_assert(std::is_trivially_copyable_v<T>, "chunk records must be POD");
@@ -120,6 +136,10 @@ std::span<const T> ChunkSpan(const Chunk& c) {
     return {};
   }
   CHAOS_CHECK(c.data != nullptr);
+  CHAOS_DCHECK(c.layout == ChunkLayout::kAoS);
+  // Arena-backed payloads are 64-byte aligned; vector-backed ones at least
+  // max_align_t. Either way the typed view must be properly aligned.
+  CHAOS_DCHECK(reinterpret_cast<uintptr_t>(c.data.get()) % alignof(T) == 0);
   return std::span<const T>(static_cast<const T*>(c.data.get()), c.count);
 }
 

@@ -23,7 +23,7 @@ void DirectoryServer::Start() {
   sim_->Spawn(Serve());
 }
 
-void DirectoryServer::HostRecord(const SetId& set, uint32_t index, MachineId engine) {
+void DirectoryServer::HostRecord(const SetId& set, uint64_t index, MachineId engine) {
   Entry& entry = entries_[set];
   entry.locations.emplace_back(engine, index);
   if (index >= entry.next_index) {

@@ -40,7 +40,7 @@ struct DirAllocReq {
 
 struct DirAllocResp {
   MachineId engine = kNoMachine;
-  uint32_t index = 0;  // directory-assigned, globally unique within the set
+  uint64_t index = 0;  // directory-assigned, globally unique within the set
 };
 
 struct DirNextReq {
@@ -51,7 +51,7 @@ struct DirNextReq {
 struct DirNextResp {
   bool ok = false;
   MachineId engine = kNoMachine;
-  uint32_t index = 0;
+  uint64_t index = 0;
 };
 
 struct DirForgetReq {
@@ -66,7 +66,7 @@ class DirectoryServer {
   void Start();
 
   // Host-side registration of chunks placed during (non-simulated) ingest.
-  void HostRecord(const SetId& set, uint32_t index, MachineId engine);
+  void HostRecord(const SetId& set, uint64_t index, MachineId engine);
 
   MachineId home() const { return home_; }
   uint64_t lookups() const { return lookups_; }
@@ -74,8 +74,8 @@ class DirectoryServer {
 
  private:
   struct Entry {
-    std::vector<std::pair<MachineId, uint32_t>> locations;
-    uint32_t next_index = 0;
+    std::vector<std::pair<MachineId, uint64_t>> locations;
+    uint64_t next_index = 0;
     uint64_t epoch = std::numeric_limits<uint64_t>::max();
     size_t cursor = 0;
   };

@@ -317,13 +317,19 @@ Chunk StorageEngine::Materialize(const SetId& set, const Chunk& chunk) const {
   const std::string path = SpillPath(set, chunk.spill_id);
   std::ifstream in(path, std::ios::binary);
   CHAOS_CHECK_MSG(in.good(), "cannot open spill file " + path);
-  auto holder = std::make_shared<std::vector<std::byte>>(chunk.payload_bytes);
-  in.read(reinterpret_cast<char*>(holder->data()),
+  // Cache-line-aligned buffer: re-materialized payloads must satisfy the
+  // same alignment ChunkSpan<T>/EdgeChunkView assert of fresh ones (a
+  // vector's allocator only guarantees element alignment).
+  constexpr std::align_val_t kAlign{64};
+  auto holder = std::shared_ptr<uint8_t>(
+      static_cast<uint8_t*>(::operator new(chunk.payload_bytes, kAlign)),
+      [](uint8_t* p) { ::operator delete(p, std::align_val_t{64}); });
+  in.read(reinterpret_cast<char*>(holder.get()),
           static_cast<std::streamsize>(chunk.payload_bytes));
   CHAOS_CHECK_MSG(in.gcount() == static_cast<std::streamsize>(chunk.payload_bytes),
                   "short read from spill file " + path);
   Chunk loaded = chunk;
-  loaded.data = std::shared_ptr<const void>(holder, holder->data());
+  loaded.data = std::shared_ptr<const void>(holder, holder.get());
   return loaded;
 }
 

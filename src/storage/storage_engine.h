@@ -76,7 +76,7 @@ struct WriteChunkReq {
 
 struct ReadIndexedReq {
   SetId set;
-  uint32_t index = 0;
+  uint64_t index = 0;
   // When true the read counts against the epoch's served bytes (and frees
   // consume-once payloads), so the D estimate works in directory mode too.
   bool consume = false;
@@ -136,7 +136,7 @@ class StorageEngine {
  private:
   struct SetStore {
     std::vector<Chunk> chunks;
-    std::unordered_map<uint32_t, size_t> by_index;  // chunk.index -> position
+    std::unordered_map<uint64_t, size_t> by_index;  // chunk.index -> position
     uint64_t bytes_total = 0;
     // Sequential-serve state for the current epoch.
     uint64_t epoch = std::numeric_limits<uint64_t>::max();
@@ -176,7 +176,7 @@ class StorageEngine {
 // Returns the machine hosting vertex chunk `chunk_idx` of `partition`
 // (paper §6.4: "the equivalent of hashing on the partition identifier and
 // the chunk number").
-inline MachineId VertexChunkHome(PartitionId partition, uint32_t chunk_idx, int machines) {
+inline MachineId VertexChunkHome(PartitionId partition, uint64_t chunk_idx, int machines) {
   CHAOS_CHECK_GT(machines, 0);
   return static_cast<MachineId>(Mix64(HashCombine(partition, chunk_idx)) %
                                 static_cast<uint64_t>(machines));

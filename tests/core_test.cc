@@ -4,9 +4,14 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
+#include <type_traits>
 
 #include "algorithms/basic.h"
 #include "core/cluster.h"
+#include "core/edge_chunk_view.h"
+#include "core/record_arena.h"
+#include "core/record_binner.h"
 #include "graph/generators.h"
 #include "graph/ref/reference.h"
 
@@ -131,6 +136,196 @@ TEST(RecordBinnerTest, OversizedRecordParksEveryAdd) {
                       /*chunk_bytes=*/16);
   binner.Add(parts.PartitionOf(0), UpdateRecord<float>{0, 1.0f});
   EXPECT_TRUE(binner.HasPending());
+}
+
+// Regression: chunk indices used to be uint32_t and wrapped silently at
+// 2^32 chunks (paper-scale edge sets with small chunk_bytes get there),
+// colliding indexed-set keys. Indices are uint64_t end to end now.
+TEST(RecordBinnerTest, IndexCrossesThirtyTwoBitsWithoutWrapping) {
+  auto parts = Partitioning::Compute(64, 2, 16, 1 << 10);
+  RecordBinner binner(&parts, sizeof(UpdateRecord<float>), /*record_wire_bytes=*/64,
+                      /*chunk_bytes=*/16);  // one record per chunk
+  binner.set_next_index_for_test((1ull << 32) - 1);
+  binner.Add(parts.PartitionOf(0), UpdateRecord<float>{0, 1.0f});
+  binner.Add(parts.PartitionOf(0), UpdateRecord<float>{0, 2.0f});
+  auto first = binner.PopPendingForTest();
+  auto second = binner.PopPendingForTest();
+  EXPECT_EQ(first.second.index, (1ull << 32) - 1);
+  EXPECT_EQ(second.second.index, 1ull << 32);  // not 0
+  static_assert(std::is_same_v<decltype(Chunk::index), uint64_t>);
+}
+
+// ------------------------------------------------- arena & chunk alignment
+
+TEST(RecordArenaTest, LeasesAreAlignedAndRecycled) {
+  RecordArena arena;
+  uint8_t* first = nullptr;
+  {
+    auto block = arena.Lease(1000);
+    ASSERT_TRUE(block);
+    EXPECT_GE(block.capacity(), 1000u);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(block.data()) % RecordArena::kAlign, 0u);
+    first = block.data();
+  }  // returned to the freelist
+  EXPECT_EQ(arena.blocks_allocated(), 1u);
+  auto again = arena.Lease(1000);
+  EXPECT_EQ(again.data(), first);  // freelist hit, no new allocation
+  EXPECT_EQ(arena.blocks_allocated(), 1u);
+  EXPECT_EQ(arena.blocks_recycled(), 1u);
+}
+
+TEST(RecordArenaTest, SharedPayloadsOutliveTheArena) {
+  std::shared_ptr<uint8_t> payload;
+  {
+    RecordArena arena;
+    payload = arena.LeaseShared(256);
+    std::memset(payload.get(), 0xAB, 256);
+  }  // arena destroyed with the payload still out
+  EXPECT_EQ(payload.get()[255], 0xAB);
+  payload.reset();  // returns after close: freed directly, no crash/leak
+}
+
+TEST(MakeChunkFromBytesTest, PayloadIsAlignedCopy) {
+  std::vector<uint8_t> bytes(192);
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    bytes[i] = static_cast<uint8_t>(i);
+  }
+  Chunk c = MakeChunkFromBytes(/*index=*/7, /*model_bytes=*/100, /*count=*/3, bytes.data(),
+                               bytes.size());
+  EXPECT_EQ(c.index, 7u);
+  EXPECT_EQ(c.payload_bytes, bytes.size());
+  // The old std::vector-backed payload only guaranteed alignof(uint8_t);
+  // the chunk payload must now satisfy any record type's alignment.
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(c.data.get()) % RecordArena::kAlign, 0u);
+  EXPECT_EQ(std::memcmp(c.data.get(), bytes.data(), bytes.size()), 0);
+}
+
+TEST(RecordBatchTest, ArenaBackedZeroedAlignedAndBorrowable) {
+  RecordArena arena;
+  RecordBatch batch(&arena, sizeof(double), 100);
+  auto span = batch.Span<double>();
+  ASSERT_EQ(span.size(), 100u);
+  for (double v : span) {
+    EXPECT_EQ(v, 0.0);  // recycled blocks are dirty; the batch must zero
+  }
+  span[42] = 3.5;
+  Chunk c = batch.BorrowChunk(/*index=*/0, /*start=*/40, /*n=*/10, /*model_bytes=*/80);
+  auto view = ChunkSpan<double>(c);
+  ASSERT_EQ(view.size(), 10u);
+  EXPECT_EQ(view[2], 3.5);  // aliases the batch buffer, zero copy
+}
+
+// ----------------------------------------------------------- SoA edge chunks
+
+std::vector<Edge> TestEdges(uint32_t n) {
+  std::vector<Edge> edges(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    edges[i] = Edge{i, 2 * i + 1, static_cast<float>(i) * 0.5f, i % 3};
+  }
+  return edges;
+}
+
+TEST(EdgeChunkViewTest, SoaRoundTripsAndIsAligned) {
+  const auto edges = TestEdges(129);  // odd count: no accidental padding luck
+  Chunk c = MakeSoaEdgeChunk(/*index=*/0, /*model_bytes=*/edges.size() * 8, edges,
+                             /*arena=*/nullptr);
+  EXPECT_EQ(c.layout, ChunkLayout::kEdgeSoA);
+  EXPECT_EQ(c.count, edges.size());
+  EXPECT_EQ(c.payload_bytes, edges.size() * sizeof(Edge));
+  EdgeChunkView view(c);
+  ASSERT_TRUE(view.soa());
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(view.src()) % alignof(VertexId), 0u);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(view.weight()) % alignof(float), 0u);
+  for (uint32_t i = 0; i < view.size(); ++i) {
+    const Edge e = view.At(i);
+    EXPECT_EQ(e.src, edges[i].src);
+    EXPECT_EQ(e.dst, edges[i].dst);
+    EXPECT_EQ(e.weight, edges[i].weight);
+    EXPECT_EQ(e.flags, edges[i].flags);
+  }
+}
+
+TEST(EdgeChunkViewTest, BinnerParksSoaChunksThatRoundTrip) {
+  auto parts = Partitioning::Compute(1024, 2, 16, 4 << 10);
+  RecordArena arena;
+  // 16-byte wire edges, 1 KiB chunks -> 64 edges per chunk.
+  RecordBinner binner(&parts, sizeof(Edge), /*record_wire_bytes=*/16,
+                      /*chunk_bytes=*/1 << 10, &arena, RecordBinner::Format::kEdgeSoA);
+  const auto edges = TestEdges(64);
+  for (const Edge& e : edges) {
+    binner.Add(/*p=*/0, e);
+  }
+  ASSERT_TRUE(binner.HasPending());
+  auto parked = binner.PopPendingForTest();
+  const Chunk& c = parked.second;
+  EXPECT_EQ(c.layout, ChunkLayout::kEdgeSoA);
+  EXPECT_EQ(c.count, 64u);
+  EdgeChunkView view(c);
+  ASSERT_TRUE(view.soa());
+  for (uint32_t i = 0; i < 64; ++i) {
+    const Edge e = view.At(i);
+    EXPECT_EQ(e.src, edges[i].src);
+    EXPECT_EQ(e.dst, edges[i].dst);
+    EXPECT_EQ(e.weight, edges[i].weight);
+    EXPECT_EQ(e.flags, edges[i].flags);
+  }
+}
+
+// Tail parks must fold in records still sitting in the write-combining
+// staging buffers: partition 0 gets two full 16-record flushes plus a
+// 5-record staged remainder, partition 1 only staged records (its fill
+// block is never leased until the drain).
+TEST(EdgeChunkViewTest, BinnerParksStagedSoaTailsThatRoundTrip) {
+  auto parts = Partitioning::Compute(1024, 2, 16, 4 << 10);
+  RecordArena arena;
+  // 16-byte wire edges, 1 KiB chunks -> 64 edges per chunk.
+  RecordBinner binner(&parts, sizeof(Edge), /*record_wire_bytes=*/16,
+                      /*chunk_bytes=*/1 << 10, &arena, RecordBinner::Format::kEdgeSoA);
+  const auto edges = TestEdges(40);
+  for (uint32_t i = 0; i < 37; ++i) {
+    binner.Add(/*p=*/0, edges[i]);
+  }
+  for (uint32_t i = 37; i < 40; ++i) {
+    binner.Add(/*p=*/1, edges[i]);
+  }
+  EXPECT_EQ(binner.emitted(), 40u);
+  EXPECT_FALSE(binner.HasPending());  // nothing filled a chunk
+  binner.ParkAllForTest();
+  ASSERT_TRUE(binner.HasPending());
+  auto first = binner.PopPendingForTest();
+  ASSERT_TRUE(binner.HasPending());
+  auto second = binner.PopPendingForTest();
+  EXPECT_FALSE(binner.HasPending());
+  const Chunk& c0 = first.first == 0 ? first.second : second.second;
+  const Chunk& c1 = first.first == 0 ? second.second : first.second;
+  ASSERT_EQ(c0.count, 37u);
+  ASSERT_EQ(c1.count, 3u);
+  EXPECT_EQ(c0.layout, ChunkLayout::kEdgeSoA);
+  EdgeChunkView v0(c0);
+  for (uint32_t i = 0; i < 37; ++i) {
+    const Edge e = v0.At(i);
+    EXPECT_EQ(e.src, edges[i].src);
+    EXPECT_EQ(e.dst, edges[i].dst);
+    EXPECT_EQ(e.weight, edges[i].weight);
+    EXPECT_EQ(e.flags, edges[i].flags);
+  }
+  EdgeChunkView v1(c1);
+  for (uint32_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(v1.At(i).dst, edges[37 + i].dst);
+  }
+  EXPECT_EQ(binner.emitted(), 40u);  // parked records still counted
+}
+
+TEST(EdgeChunkViewTest, AosChunksStillReadable) {
+  const auto edges = TestEdges(16);
+  Chunk c = MakeChunk<Edge>(/*index=*/0, /*model_bytes=*/128, edges);
+  EXPECT_EQ(c.layout, ChunkLayout::kAoS);
+  EdgeChunkView view(c);
+  EXPECT_FALSE(view.soa());
+  ASSERT_EQ(view.size(), 16u);
+  for (uint32_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(view.At(i).dst, edges[i].dst);
+  }
 }
 
 // --------------------------------------------------------------- clusters

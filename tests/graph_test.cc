@@ -393,5 +393,57 @@ TEST(RefDijkstraTest, PropertyRelaxed) {
   }
 }
 
+// StreamRmat must produce the exact edge sequence GenerateRmat does (same
+// RNG consumption), independent of batch size — including a batch size
+// that does not divide the edge count, and weighted edges (whose weights
+// interleave extra RNG draws with the coordinate bits).
+TEST(StreamRmatTest, MatchesMaterializedGenerator) {
+  for (const bool weighted : {false, true}) {
+    RmatOptions opt;
+    opt.scale = 10;
+    opt.weighted = weighted;
+    opt.seed = 99;
+    const InputGraph golden = GenerateRmat(opt);
+    for (const uint64_t batch : {1000ull, 4096ull, 1ull << 20}) {
+      std::vector<Edge> streamed;
+      StreamRmat(opt, batch, [&](const std::vector<Edge>& edges) {
+        streamed.insert(streamed.end(), edges.begin(), edges.end());
+        return true;
+      });
+      ASSERT_EQ(streamed.size(), golden.edges.size());
+      for (size_t i = 0; i < streamed.size(); ++i) {
+        ASSERT_EQ(streamed[i].src, golden.edges[i].src) << "weighted=" << weighted;
+        ASSERT_EQ(streamed[i].dst, golden.edges[i].dst);
+        ASSERT_EQ(streamed[i].weight, golden.edges[i].weight);
+        ASSERT_EQ(streamed[i].flags, golden.edges[i].flags);
+      }
+    }
+  }
+}
+
+// A sink returning false stops generation after the current batch — the
+// prefix delivered matches the materialized sequence (bench_fig_scale uses
+// this to sample a root without paying for the full stream).
+TEST(StreamRmatTest, SinkCanStopEarly) {
+  RmatOptions opt;
+  opt.scale = 10;
+  opt.seed = 99;
+  const InputGraph golden = GenerateRmat(opt);
+  constexpr uint64_t kBatch = 1500;
+  std::vector<Edge> streamed;
+  size_t calls = 0;
+  StreamRmat(opt, kBatch, [&](const std::vector<Edge>& edges) {
+    ++calls;
+    streamed.insert(streamed.end(), edges.begin(), edges.end());
+    return false;
+  });
+  EXPECT_EQ(calls, 1u);
+  ASSERT_EQ(streamed.size(), kBatch);
+  for (size_t i = 0; i < streamed.size(); ++i) {
+    ASSERT_EQ(streamed[i].src, golden.edges[i].src);
+    ASSERT_EQ(streamed[i].dst, golden.edges[i].dst);
+  }
+}
+
 }  // namespace
 }  // namespace chaos

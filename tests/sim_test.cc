@@ -117,6 +117,133 @@ TEST(EventQueueTest, InterleavedPushPop) {
   }
 }
 
+// ------------------------------------------- heap vs calendar differential
+
+// Pops every remaining event and records its identity. (time, seq) is the
+// full total order, so equal traces mean bitwise-identical pop order.
+std::vector<std::pair<TimeNs, uint64_t>> DrainTrace(EventQueue* q) {
+  std::vector<std::pair<TimeNs, uint64_t>> trace;
+  while (!q->empty()) {
+    auto ev = q->Pop();
+    trace.emplace_back(ev.time, ev.seq);
+  }
+  return trace;
+}
+
+// Feeds the identical seeded stream of (push burst, pop burst) operations to
+// a binary heap and a calendar queue and asserts the pop traces match
+// element for element. `spread` shapes the time distribution: small spreads
+// produce dense buckets, huge spreads force calendar rotations + rebuilds.
+void RunQueueDifferential(uint64_t seed, int rounds, uint64_t spread) {
+  EventQueue heap(EventQueueImpl::kBinaryHeap);
+  EventQueue cal(EventQueueImpl::kCalendar);
+  Rng rng(seed);
+  std::vector<std::pair<TimeNs, uint64_t>> heap_trace;
+  std::vector<std::pair<TimeNs, uint64_t>> cal_trace;
+  TimeNs now = 0;
+  for (int round = 0; round < rounds; ++round) {
+    const int pushes = 1 + static_cast<int>(rng.Below(8));
+    for (int i = 0; i < pushes; ++i) {
+      // Occasionally collide exactly (simultaneous events must break ties
+      // by seq identically in both implementations).
+      const TimeNs t = rng.Below(4) == 0 ? now : now + static_cast<TimeNs>(rng.Below(spread));
+      heap.Push(t, [] {});
+      cal.Push(t, [] {});
+    }
+    const int pops = static_cast<int>(rng.Below(6));
+    for (int i = 0; i < pops && !heap.empty(); ++i) {
+      auto he = heap.Pop();
+      auto ce = cal.Pop();
+      ASSERT_EQ(he.time, ce.time);
+      ASSERT_EQ(he.seq, ce.seq);
+      now = he.time;  // like a simulator: never schedule behind now
+    }
+  }
+  heap_trace = DrainTrace(&heap);
+  cal_trace = DrainTrace(&cal);
+  ASSERT_EQ(heap_trace, cal_trace);
+  EXPECT_EQ(heap.total_pushed(), cal.total_pushed());
+}
+
+TEST(EventQueueDifferentialTest, DensePacked) {
+  // Sub-bucket-width spread: most events land in the same calendar bucket.
+  RunQueueDifferential(/*seed=*/1, /*rounds=*/3000, /*spread=*/64);
+}
+
+TEST(EventQueueDifferentialTest, MediumSpread) {
+  RunQueueDifferential(/*seed=*/2, /*rounds=*/3000, /*spread=*/100'000);
+}
+
+TEST(EventQueueDifferentialTest, SparseForcesRotationSearch) {
+  // Gaps far beyond bucket_count * width: every pop rotates fruitlessly and
+  // falls back to the direct min search + jump.
+  RunQueueDifferential(/*seed=*/3, /*rounds=*/1000, /*spread=*/1ull << 40);
+}
+
+TEST(EventQueueDifferentialTest, SimultaneousEventBursts) {
+  // Large bursts at identical timestamps — the seq tiebreak carries the
+  // entire ordering, as in barrier releases and CondEvent::NotifyAll storms.
+  EventQueue heap(EventQueueImpl::kBinaryHeap);
+  EventQueue cal(EventQueueImpl::kCalendar);
+  Rng rng(77);
+  TimeNs now = 0;
+  for (int round = 0; round < 200; ++round) {
+    now += static_cast<TimeNs>(rng.Below(1000));
+    const int burst = 1 + static_cast<int>(rng.Below(64));
+    for (int i = 0; i < burst; ++i) {
+      heap.Push(now, [] {});
+      cal.Push(now, [] {});
+    }
+  }
+  EXPECT_EQ(DrainTrace(&heap), DrainTrace(&cal));
+}
+
+TEST(EventQueueDifferentialTest, RateReprojectionStorm) {
+  // SetRate-style storm (net/network.cc): a batch of far-future completion
+  // events gets popped and re-pushed at nearer times when bandwidth is
+  // re-projected. The near pushes land *behind* the calendar cursor window,
+  // exercising the Push rewind path.
+  EventQueue heap(EventQueueImpl::kBinaryHeap);
+  EventQueue cal(EventQueueImpl::kCalendar);
+  Rng rng(1234);
+  TimeNs now = 0;
+  for (int storm = 0; storm < 50; ++storm) {
+    for (int i = 0; i < 32; ++i) {
+      const TimeNs far = now + 1'000'000 + static_cast<TimeNs>(rng.Below(1'000'000));
+      heap.Push(far, [] {});
+      cal.Push(far, [] {});
+    }
+    // Re-projection: new events at much nearer times than what's queued.
+    for (int i = 0; i < 32; ++i) {
+      const TimeNs near = now + static_cast<TimeNs>(rng.Below(1000));
+      heap.Push(near, [] {});
+      cal.Push(near, [] {});
+    }
+    for (int i = 0; i < 48; ++i) {
+      auto he = heap.Pop();
+      auto ce = cal.Pop();
+      ASSERT_EQ(he.time, ce.time);
+      ASSERT_EQ(he.seq, ce.seq);
+      now = he.time;
+    }
+  }
+  EXPECT_EQ(DrainTrace(&heap), DrainTrace(&cal));
+}
+
+TEST(EventQueueDifferentialTest, GrowthAndRebuild) {
+  // Push enough to trigger several bucket-doubling rebuilds, then drain.
+  EventQueue heap(EventQueueImpl::kBinaryHeap);
+  EventQueue cal(EventQueueImpl::kCalendar);
+  Rng rng(5);
+  for (int i = 0; i < 100'000; ++i) {
+    const TimeNs t = static_cast<TimeNs>(rng.Below(1ull << 30));
+    heap.Push(t, [] {});
+    cal.Push(t, [] {});
+  }
+  EXPECT_EQ(cal.size(), 100'000u);
+  EXPECT_EQ(DrainTrace(&heap), DrainTrace(&cal));
+}
+
 // ---------------------------------------------------------------- Simulator
 
 TEST(SimulatorTest, TimeAdvancesMonotonically) {
@@ -502,6 +629,31 @@ TEST(SimulatorTest, PropertyDeterministicReplay) {
   };
   EXPECT_EQ(run(123), run(123));
   EXPECT_NE(run(123), run(321));
+}
+
+// End-to-end: a whole simulation run (coroutines, FIFO resources, seeded
+// arrivals) completes with the identical trace under either queue impl.
+TEST(SimulatorTest, HeapAndCalendarProduceIdenticalTraces) {
+  auto run = [](EventQueueImpl impl) {
+    Simulator sim(impl);
+    FifoResource dev(&sim, "dev");
+    Rng rng(2024);
+    std::vector<TimeNs> trace;
+    for (int i = 0; i < 300; ++i) {
+      const TimeNs arrival = static_cast<TimeNs>(rng.Below(500));
+      const TimeNs service = static_cast<TimeNs>(1 + rng.Below(20));
+      sim.Spawn(
+          [](Simulator* s, FifoResource* dev, std::vector<TimeNs>* t, TimeNs a, TimeNs sv)
+              -> Task<> {
+            co_await s->Delay(a);
+            co_await dev->Acquire(sv);
+            t->push_back(s->now());
+          }(&sim, &dev, &trace, arrival, service));
+    }
+    sim.Run();
+    return trace;
+  };
+  EXPECT_EQ(run(EventQueueImpl::kBinaryHeap), run(EventQueueImpl::kCalendar));
 }
 
 }  // namespace
