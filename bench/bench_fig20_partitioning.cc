@@ -15,7 +15,9 @@ CHAOS_BENCH_MAIN(fig20, "Figure 20: dynamic load balancing vs upfront partitioni
   opt.AddInt("scale", 12, "RMAT scale (paper: 27)");
   opt.AddInt("machines", 16, "machines (paper: 32)");
   opt.AddInt("seed", 1, "seed");
-  opt.AddDouble("grid-ns-per-edge", 60.0, "calibrated grid partitioner cost (bench_micro)");
+  opt.AddDouble("grid-ns-per-edge", 0.0,
+                "grid partitioner cost override; 0 = calibrate from a measured "
+                "GridPartition run on this host");
   if (!ParseFlags(opt, argc, argv)) {
     return 1;
   }
@@ -44,6 +46,23 @@ CHAOS_BENCH_MAIN(fig20, "Figure 20: dynamic load balancing vs upfront partitioni
   }
   const std::vector<Fig20Point> points = sweep.Run();
 
+  // The grid-partitioning side of the ratio is simulated from a per-edge CPU
+  // cost. By default that cost is calibrated right here, from a measured
+  // GridPartition run on this host's sample graph (host_seconds over edges),
+  // instead of trusting a hardcoded constant from whatever machine last ran
+  // bench_micro; --grid-ns-per-edge > 0 overrides the calibration.
+  InputGraph sample = BenchRmat(scale, false, seed);
+  auto grid_result = GridPartition(sample, machines, seed);
+  double grid_ns_per_edge = opt.GetDouble("grid-ns-per-edge");
+  if (grid_ns_per_edge <= 0.0) {
+    grid_ns_per_edge = grid_result.host_seconds * 1e9 /
+                       static_cast<double>(std::max<uint64_t>(sample.num_edges(), 1));
+    std::printf("grid-ns-per-edge auto-calibrated: %.1f ns/edge (host GridPartition "
+                "%.3fs over %llu edges)\n",
+                grid_ns_per_edge, grid_result.host_seconds,
+                static_cast<unsigned long long>(sample.num_edges()));
+  }
+
   std::printf("== Figure 20: rebalance time / grid partitioning time (RMAT-%u, m=%d) ==\n",
               scale, machines);
   PrintHeader({"algorithm", "rebalance(s)", "gridpart(s)", "ratio"});
@@ -62,7 +81,7 @@ CHAOS_BENCH_MAIN(fig20, "Figure 20: dynamic load balancing vs upfront partitioni
     }
     const TimeNs grid = GridPartitionSimTime(
         point.num_edges, point.edge_wire_bytes, machines,
-        StorageConfig::Ssd().bandwidth_bps, opt.GetDouble("grid-ns-per-edge"), 16);
+        StorageConfig::Ssd().bandwidth_bps, grid_ns_per_edge, 16);
     const double ratio =
         static_cast<double>(rebalance) / static_cast<double>(std::max<TimeNs>(grid, 1));
     ratios.Add(ratio);
@@ -75,8 +94,6 @@ CHAOS_BENCH_MAIN(fig20, "Figure 20: dynamic load balancing vs upfront partitioni
   }
   // Also report the real (host-measured) grid partitioner on this graph.
   // Host seconds are wall-clock and deliberately NOT recorded as a metric.
-  InputGraph sample = BenchRmat(scale, false, seed);
-  auto grid_result = GridPartition(sample, machines, seed);
   std::printf("\ngrid partitioner on this host: %.3fs, replication %.2f, imbalance %.2f\n",
               grid_result.host_seconds, grid_result.replication_factor,
               grid_result.imbalance);

@@ -20,10 +20,14 @@
 #include "core/partition.h"
 #include "core/record_arena.h"
 #include "core/record_binner.h"
+#include "core/steal_policy.h"
+#include "core/update_chunk_view.h"
 #include "graph/generators.h"
+#include "net/network.h"
 #include "sim/event_queue.h"
 #include "sim/simulator.h"
 #include "storage/chunk.h"
+#include "util/rng.h"
 
 namespace chaos {
 namespace {
@@ -178,10 +182,13 @@ double NowMs() {
 // ------------------------------------------------------- paired A/B micros
 //
 // Baseline-vs-optimized pairs for the DES hot-path work: the calendar queue
-// against the binary heap, and the arena-backed binner against the old
-// regrow-a-vector-per-chunk binner (replicated here verbatim as the A side).
-// Host timings — recorded as metrics so the pinned BENCH json documents the
-// measured speedups, but excluded from the cross-host byte-compare.
+// against the binary heap, the arena-backed binner against the old
+// regrow-a-vector-per-chunk binner (replicated here verbatim as the A side),
+// and the update-plane trio — SoA update bin/scan cycle, wire-format
+// combining ratio, and steal-proposal combining ratio. Host timings (or, for
+// the two ratio pairs, deterministic model quantities) — recorded as metrics
+// so the pinned BENCH json documents the measured speedups, but excluded
+// from the cross-host byte-compare.
 
 // Classic hold model: a large resident event population; every op pops the
 // minimum and schedules a replacement at a random future offset. This is
@@ -224,9 +231,9 @@ class HoldWorkload {
 // park chunks as they fill, then stream every parked chunk kScanPasses
 // times — edge sets are written once at preprocessing and re-scanned every
 // superstep (fig_scale's default BFS runs more supersteps than this). The
-// set is larger than L2 so the scan passes stream, like real supersteps
-// walking a partition's whole edge set, rather than re-reading a still-hot
-// just-parked chunk.
+// set is larger than any server L3 so the scan passes stream from DRAM,
+// like real supersteps walking a partition's whole edge set, rather than
+// re-reading a still-cached just-parked chunk.
 constexpr int kBinnerPartitions = 64;
 // Chunk size in the range the figure-bench configs compute (fig_scale's
 // default lands at ~262 KB chunks); large enough that the legacy path's
@@ -234,7 +241,7 @@ constexpr int kBinnerPartitions = 64;
 constexpr uint64_t kBinnerChunkBytes = 256 << 10;
 constexpr uint64_t kEdgeWireBytes = 16;  // paper wire format: two 8-byte ids
 constexpr int kScanPasses = 8;
-constexpr uint64_t kBinnerBatchEdges = 2ull << 20;  // 48 MB AoS working set
+constexpr uint64_t kBinnerBatchEdges = 16ull << 20;  // 384 MB AoS working set
 
 // AoS scan as the pre-SoA GasKernel did it: 24-byte-stride Edge loads.
 uint64_t ScanEdgesAos(const Edge* e, uint32_t n) {
@@ -338,6 +345,167 @@ uint64_t RunArenaBinnerBatch(RecordBinner* binner) {
   return kBinnerBatchEdges;
 }
 
+// The update-record lifecycle, same cycle at gather scale: updates are
+// binned by destination partition during scatter and the parked chunks are
+// re-scanned by gather. 12-byte wire records (8-byte dst id + 4-byte float
+// value, PageRank's shape); the chunk size keeps records-per-chunk (16384)
+// a multiple of the write-combining stage so the NT-store path engages,
+// like an engine whose configured chunk size lands on a stage boundary.
+// Unlike edge sets (re-scanned every superstep, kScanPasses), an update
+// chunk is consumed exactly once by gather, so this pair scans once —
+// the bin/park side carries its real per-superstep weight. The batch
+// matches the edge pair's record count (256 MB AoS here): update streams
+// are superstep-sized, and the batch has to clear even the largest server
+// L3s so both eras stream from DRAM instead of measuring cache residency.
+constexpr uint64_t kUpdateWireBytes = 12;
+constexpr uint64_t kUpdateChunkBytes = 16384 * kUpdateWireBytes;
+constexpr int kUpdateScanPasses = 1;
+constexpr uint64_t kUpdateBatch = 16ull << 20;
+
+// AoS update scan as the pre-SoA gather loop did it: 16-byte-stride
+// UpdateRecord<float> loads for an 8+4-byte logical payload.
+uint64_t ScanUpdatesAos(const UpdateRecord<float>* r, uint32_t n) {
+  uint64_t acc = 0;
+  for (uint32_t i = 0; i < n; ++i) {
+    acc += r[i].value > 0.0f ? r[i].dst : 0;
+  }
+  return acc;
+}
+
+// SoA update scan as GasEngine::GatherChunk's fast path does it: contiguous
+// dst and value columns under __restrict (core/update_chunk_view.h).
+uint64_t ScanUpdatesSoa(const UpdateChunkView& view) {
+  const VertexId* __restrict dst = view.dst();
+  const float* __restrict value = view.values_as<float>();
+  uint64_t acc = 0;
+  const uint32_t n = view.size();
+  for (uint32_t i = 0; i < n; ++i) {
+    acc += value[i] > 0.0f ? dst[i] : 0;
+  }
+  return acc;
+}
+
+// The pre-SoA update path, mirroring LegacyVectorBinner's incarnation for
+// the update plane: per-partition std::vector<UpdateRecord<float>> bins
+// (the shape the kernel's emit lambdas materialized before the binner
+// grew AddUpdate), each full bin moved into a fresh make_shared holder —
+// so every chunk cycle regrows the partition's vector from scratch and
+// allocates a fresh payload per chunk — and re-scanned with AoS loads.
+class LegacyUpdateBinner {
+ public:
+  LegacyUpdateBinner(size_t partitions, uint64_t records_per_chunk)
+      : records_per_chunk_(records_per_chunk), buffers_(partitions) {}
+
+  void Add(PartitionId p, VertexId dst, float value) {
+    auto& buffer = buffers_[p];
+    buffer.push_back(UpdateRecord<float>{dst, value});
+    if (buffer.size() >= records_per_chunk_) {
+      parked_.push_back(
+          std::make_shared<std::vector<UpdateRecord<float>>>(std::move(buffer)));
+      buffer.clear();
+    }
+  }
+
+  uint64_t ScanAll() const {
+    uint64_t acc = 0;
+    for (const auto& holder : parked_) {
+      acc += ScanUpdatesAos(holder->data(), static_cast<uint32_t>(holder->size()));
+    }
+    return acc;
+  }
+
+  void DropParked() { parked_.clear(); }
+
+ private:
+  uint64_t records_per_chunk_;
+  std::vector<std::vector<UpdateRecord<float>>> buffers_;
+  std::vector<std::shared_ptr<std::vector<UpdateRecord<float>>>> parked_;
+};
+
+uint64_t RunLegacyUpdateBatch(LegacyUpdateBinner* binner) {
+  for (uint64_t i = 0; i < kUpdateBatch; ++i) {
+    binner->Add(static_cast<PartitionId>(i & (kBinnerPartitions - 1)),
+                i ^ 0x9e3779b9u, static_cast<float>(i & 0xff) + 1.0f);
+  }
+  uint64_t acc = 0;
+  for (int s = 0; s < kUpdateScanPasses; ++s) {
+    acc += binner->ScanAll();
+  }
+  DoNotOptimize(acc);
+  binner->DropParked();  // chunks freed after their gather scan
+  return kUpdateBatch;
+}
+
+uint64_t RunSoaUpdateBatch(RecordBinner* binner) {
+  std::vector<Chunk> parked;
+  for (uint64_t i = 0; i < kUpdateBatch; ++i) {
+    binner->AddUpdate(static_cast<PartitionId>(i & (kBinnerPartitions - 1)),
+                      i ^ 0x9e3779b9u, static_cast<float>(i & 0xff) + 1.0f);
+  }
+  while (binner->HasPending()) {
+    parked.push_back(binner->PopPendingForTest().second);
+  }
+  uint64_t acc = 0;
+  for (int s = 0; s < kUpdateScanPasses; ++s) {
+    for (const Chunk& chunk : parked) {
+      const UpdateChunkView view(chunk, sizeof(float));
+      acc += ScanUpdatesSoa(view);
+    }
+  }
+  DoNotOptimize(acc);
+  parked.clear();  // payload blocks return to the arena freelist
+  return kUpdateBatch;
+}
+
+// Wire-format combining ratio (net/network.h UpdateWireCodec): verbatim
+// per-record wire bytes vs the packed columnar frame, on a partition-
+// clustered update batch — dst ids confined to one partition's vertex
+// range, in emission order, exactly what one binned update chunk carries.
+// Model quantities (bytes per record, not host time), so the measured
+// ratio is deterministic across hosts.
+double WirePackBytesPerRecord(bool packed) {
+  constexpr uint32_t kRecords = 1 << 16;
+  constexpr uint64_t kPartitionBase = 5ull << 20;
+  if (!packed) {
+    return static_cast<double>(kUpdateWireBytes);
+  }
+  Rng rng(2026);
+  std::vector<uint64_t> dst(kRecords);
+  std::vector<uint8_t> values(kRecords * sizeof(float), 0x5a);
+  for (uint32_t i = 0; i < kRecords; ++i) {
+    dst[i] = kPartitionBase + rng.Below(1 << 16);
+  }
+  std::vector<uint8_t> frame;
+  UpdateWireCodec::Encode(dst.data(), values.data(), kRecords, sizeof(float),
+                          &frame);
+  CHAOS_CHECK_EQ(frame.size(), UpdateWireCodec::PackedFrameBytes(
+                                   dst.data(), kRecords, sizeof(float)));
+  return static_cast<double>(frame.size()) / kRecords;
+}
+
+// Steal-combining charge ratio (core/steal_policy.h): per-message CPU
+// charges a victim pays over a seeded synthetic proposal stream, uncombined
+// (one per proposal) vs combined (one per maximal co-domain run). 64
+// machines in domains of 8; a domain's helpers go idle together and sweep
+// the same victim order, so proposals arrive in domain bursts — the arrival
+// pattern the combining targets. Deterministic model quantities.
+double StealChargesPerProposal(bool combined) {
+  constexpr int kStealMachines = 64;
+  constexpr int kStealDomain = 8;
+  Rng rng(2026);
+  std::vector<int> srcs;
+  while (srcs.size() < (1u << 15)) {
+    const int domain = static_cast<int>(rng.Below(kStealMachines / kStealDomain));
+    const uint64_t burst = 2 + rng.Below(5);
+    for (uint64_t i = 0; i < burst; ++i) {
+      srcs.push_back(domain * kStealDomain + static_cast<int>(rng.Below(kStealDomain)));
+    }
+  }
+  const uint64_t charges =
+      combined ? CombinedProposalCharges(srcs, kStealDomain) : srcs.size();
+  return static_cast<double>(charges) / static_cast<double>(srcs.size());
+}
+
 // Adaptive ns-per-item over a persistent-state batch body.
 double MeasureNsPerItem(const std::function<uint64_t()>& batch, double min_ms) {
   batch();  // warm: containers, arena freelists, calendar buckets
@@ -437,6 +605,31 @@ CHAOS_BENCH_MAIN(micro, "Microbenchmarks for CostModel calibration") {
                              &arena, RecordBinner::Format::kEdgeSoA);
          return MeasureNsPerItem([&] { return RunArenaBinnerBatch(&binner); }, ms);
        }},
+      // Update-plane pairs (metric keys keep the *_ns_per_op names so the CI
+      // gate machinery reads every pair uniformly; for the two model-quantity
+      // pairs below the recorded unit is bytes/record resp. charges/proposal,
+      // and the speedups are deterministic across hosts).
+      {"UpdateBinGatherCycle", "micro.update_bin_cycle",
+       [](double ms) {
+         LegacyUpdateBinner binner(
+             kBinnerPartitions,
+             RecordBinner::RecordsPerChunk(kUpdateChunkBytes, kUpdateWireBytes));
+         return MeasureNsPerItem([&] { return RunLegacyUpdateBatch(&binner); }, ms);
+       },
+       [](double ms) {
+         auto parts = Partitioning::WithPartitions(4096, 4, kBinnerPartitions);
+         RecordArena arena;
+         RecordBinner binner(&parts, sizeof(UpdateRecord<float>), kUpdateWireBytes,
+                             kUpdateChunkBytes, &arena,
+                             RecordBinner::Format::kUpdateSoA, sizeof(float));
+         return MeasureNsPerItem([&] { return RunSoaUpdateBatch(&binner); }, ms);
+       }},
+      {"UpdateWirePack", "micro.wire_pack",
+       [](double) { return WirePackBytesPerRecord(false); },
+       [](double) { return WirePackBytesPerRecord(true); }},
+      {"StealProposalCombine", "micro.steal_combine",
+       [](double) { return StealChargesPerProposal(false); },
+       [](double) { return StealChargesPerProposal(true); }},
   };
   std::printf("\n");
   PrintHeader({"pair", "baseline", "optimized", "speedup"});

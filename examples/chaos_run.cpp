@@ -79,6 +79,16 @@ void RegisterFlags(Options& opt) {
   opt.AddString("steal-mode", "steal_one",
                 "steal policy: steal_one|steal_half|adaptive (adaptive also "
                 "turns on backoff + victim-check hints)");
+  // The update-plane combining switches default ON here (the release
+  // binary wants the cheapest wire/control plane); the library-level
+  // ClusterConfig defaults stay off so the pinned benchmark figures
+  // reproduce byte-for-byte (see src/core/config.h).
+  opt.AddString("wire-combine", "on",
+                "on|off: pack outbound update batches columnar with delta-varint "
+                "ids before charging the NIC (pure re-encode, same results)");
+  opt.AddString("steal-combine", "on",
+                "on|off: merge co-domain steal proposals queued at a victim into "
+                "one control-message CPU charge");
   opt.AddInt("straggler", -1, "machine to degrade (-1 = healthy cluster)");
   opt.AddDouble("straggler-severity", 4.0, "slowdown factor of the straggler");
   opt.AddString("straggler-target", "cpu", "degraded resource: cpu|storage|nic|machine");
@@ -220,6 +230,22 @@ std::optional<JobSpec> BuildJob(const Options& opt, bool quiet, bool serving) {
     // per-phase victim-check hints (see src/core/steal_policy.h).
     cfg.steal.backoff = true;
     cfg.steal.victim_check = true;
+  }
+  const auto parse_switch = [&opt](const char* flag, bool* out) {
+    const std::string& v = opt.GetString(flag);
+    if (v == "on") {
+      *out = true;
+    } else if (v == "off") {
+      *out = false;
+    } else {
+      std::fprintf(stderr, "--%s must be on|off (got '%s')\n", flag, v.c_str());
+      return false;
+    }
+    return true;
+  };
+  if (!parse_switch("wire-combine", &cfg.wire_combine) ||
+      !parse_switch("steal-combine", &cfg.steal_combine)) {
+    return std::nullopt;
   }
   cfg.checkpoint_interval = static_cast<uint32_t>(opt.GetInt("checkpoint-interval"));
   cfg.seed = seed;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "core/update_chunk_view.h"
+
 namespace chaos {
 namespace {
 
@@ -230,6 +232,21 @@ Task<std::optional<Chunk>> ChunkFetcher::Next() {
 ChunkWriter::ChunkWriter(EngineContext* ctx, Rng* rng, int window)
     : ctx_(ctx), rng_(rng), window_(ctx->sim, window), group_(ctx->sim) {}
 
+uint64_t ChunkWriter::CombinedUpdateWire(const Chunk& chunk) const {
+  // Per-record wire width is a chunk invariant (model_bytes = count *
+  // UpdateWireBytes); the value column is what rides beyond the id.
+  const uint64_t record_wire = chunk.model_bytes / chunk.count;
+  CHAOS_DCHECK(record_wire * chunk.count == chunk.model_bytes);
+  CHAOS_DCHECK(record_wire > vid_wire_);
+  const uint64_t value_bytes = record_wire - vid_wire_;
+  const UpdateChunkView view(chunk, value_bytes);
+  UpdateWireSizer sizer;
+  for (uint32_t i = 0; i < chunk.count; ++i) {
+    sizer.Add(view.DstAt(i));
+  }
+  return sizer.PackedWireBytes(record_wire, value_bytes);
+}
+
 Task<> ChunkWriter::WriteToEngine(SetId set, Chunk chunk, MachineId target) {
   const uint64_t bytes = chunk.model_bytes;
   // The in-flight payload occupies this machine's memory until the write
@@ -238,8 +255,22 @@ Task<> ChunkWriter::WriteToEngine(SetId set, Chunk chunk, MachineId target) {
   if (ctx_->pool != nullptr) {
     lease = co_await ctx_->pool->Acquire(bytes);
   }
+  // With wire combining on, outbound update batches are re-encoded columnar
+  // for the transfer only (net/network.h, UpdateWireCodec): the NIC charge
+  // shrinks, the stored chunk and its model_bytes do not.
+  uint64_t wire = bytes;
+  if (combine_updates_ && chunk.count > 0 &&
+      (set.kind == SetKind::kUpdatesEven || set.kind == SetKind::kUpdatesOdd)) {
+    wire = CombinedUpdateWire(chunk);
+    if (metrics_ != nullptr) {
+      metrics_->update_wire_bytes_saved += bytes - wire;
+      if (wire < bytes) {
+        ++metrics_->update_chunks_packed;
+      }
+    }
+  }
   WriteChunkReq body{set, std::move(chunk)};
-  Message req = StorageRequest(ctx_->machine, target, kWriteChunkReq, bytes + kControlMsgBytes,
+  Message req = StorageRequest(ctx_->machine, target, kWriteChunkReq, wire + kControlMsgBytes,
                                std::move(body));
   Message ack = co_await ctx_->bus->Call(std::move(req));
   CHAOS_CHECK_EQ(ack.type, static_cast<uint32_t>(kWriteAck));

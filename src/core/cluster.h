@@ -15,6 +15,7 @@
 #include "core/edge_chunk_view.h"
 #include "core/mutation_feed.h"
 #include "core/record_arena.h"
+#include "core/update_chunk_view.h"
 #include "graph/types.h"
 
 namespace chaos {
@@ -344,7 +345,10 @@ class Cluster {
       const uint64_t per_update_chunk =
           std::max<uint64_t>(1, config_.chunk_bytes / update_wire);
       std::vector<std::vector<Rec>> ubins(parts_->num_partitions());
-      std::vector<uint32_t> unext(parts_->num_partitions(), 0);
+      // 64-bit chunk numbering: paper-scale runs with miniaturized
+      // chunk_bytes exceed 2^32 sequential chunks per set (Chunk::index is
+      // uint64_t for the same reason; tests/core_test.cc pins this).
+      std::vector<uint64_t> unext(parts_->num_partitions(), 0);
       auto uflush = [&](PartitionId q) {
         const uint64_t wire = ubins[q].size() * update_wire;
         const SetId set{q, updates_as};
@@ -367,7 +371,11 @@ class Cluster {
           }
           for (const Chunk& c : *src->HostGetSet(id)) {
             const Chunk loaded = src->HostMaterialize(id, c);
-            for (const Rec& r : ChunkSpan<Rec>(loaded)) {
+            // Snapshot chunks may be either layout (kUpdateSoA from the
+            // binner, kAoS from imports); the view spans both.
+            const UpdateChunkView view(loaded, sizeof(typename P::UpdateValue));
+            for (uint32_t i = 0; i < view.size(); ++i) {
+              const Rec r = view.template At<typename P::UpdateValue>(i);
               const PartitionId q = parts_->PartitionOf(r.dst);
               ubins[q].push_back(r);
               if (ubins[q].size() >= per_update_chunk) {

@@ -444,49 +444,22 @@ Task<> EngineCore::ControlServer() {
     co_await ctx_.sim->Delay(ctx_.MessageTime());
     switch (m.type) {
       case kHelpProposalReq: {
-        const auto& req = std::any_cast<const HelpProposalReq&>(m.body);
-        ++metrics_->proposals_received;
-        HelpProposalResp out;
-        // A dead master accepts no new helpers (its superstep is doomed);
-        // already-admitted stealers are drained by the handshake. A phase
-        // or superstep mismatch means this victim has nothing left for the
-        // proposer's phase: more_work stays false, so the helper's victim
-        // check retires this victim for the rest of the phase.
-        if (ctx_.config->stealing_enabled() && !Dead() && req.superstep == superstep_ &&
-            req.phase == phase_ && !own_status_.empty()) {
-          uint32_t open = 0;
-          for (const PartitionId p : own_partitions_) {
-            const auto it = own_status_.find(p);
-            if (it != own_status_.end() && it->second.s != PartStatus::S::kClosed) {
-              ++open;
-            }
-          }
-          out.more_work = open > 0;
-          const uint32_t limit = StealGrantLimit(req.steal_half, open);
-          const size_t n = own_partitions_.size();
-          for (size_t i = 0; i < n && out.granted.size() < limit; ++i) {
-            const PartitionId p = own_partitions_[(grant_cursor_ + i) % n];
-            if (!StealDecision(p, req.phase)) {
-              continue;
-            }
-            PartStatus& st = own_status_[p];
-            ++st.workers;
-            if (st.s == PartStatus::S::kPending) {
-              st.s = PartStatus::S::kActive;
-            }
-            if (req.phase == EnginePhase::kGather) {
-              st.gather_stealers.push_back(m.src);
-            }
-            out.granted.push_back(p);
-          }
-          if (!out.granted.empty()) {
-            ++metrics_->proposals_accepted;
-            metrics_->partitions_granted += out.granted.size();
-            grant_cursor_ = (grant_cursor_ + 1) % n;
+        HandleHelpProposal(m);
+        // Domain-level proposal combining (config steal_combine): proposals
+        // from the same steal domain queued behind this one arrive as one
+        // merged control message, so they share the MessageTime() charge
+        // already paid above. Each member still gets its own grant decision
+        // and reply; the drain stops at the first cross-domain (or
+        // non-proposal) message so handling order is untouched.
+        if (ctx_.config->steal_combine) {
+          const int domain = ctx_.config->steal.steal_domain;
+          while (!inbox.empty() && inbox.front().type == kHelpProposalReq &&
+                 CoDomainSteal(inbox.front().src, m.src, domain)) {
+            const Message merged = inbox.PopNow();
+            ++metrics_->steal_proposals_combined;
+            HandleHelpProposal(merged);
           }
         }
-        const uint64_t wire = kControlMsgBytes + 4ull * out.granted.size();
-        ctx_.bus->PostReply(m, kHelpProposalResp, wire, std::move(out));
         break;
       }
       case kAccumPullReq:
@@ -498,6 +471,52 @@ Task<> EngineCore::ControlServer() {
         CHAOS_CHECK_MSG(false, "unknown control message type " + std::to_string(m.type));
     }
   }
+}
+
+void EngineCore::HandleHelpProposal(const Message& m) {
+  const auto& req = std::any_cast<const HelpProposalReq&>(m.body);
+  ++metrics_->proposals_received;
+  HelpProposalResp out;
+  // A dead master accepts no new helpers (its superstep is doomed);
+  // already-admitted stealers are drained by the handshake. A phase
+  // or superstep mismatch means this victim has nothing left for the
+  // proposer's phase: more_work stays false, so the helper's victim
+  // check retires this victim for the rest of the phase.
+  if (ctx_.config->stealing_enabled() && !Dead() && req.superstep == superstep_ &&
+      req.phase == phase_ && !own_status_.empty()) {
+    uint32_t open = 0;
+    for (const PartitionId p : own_partitions_) {
+      const auto it = own_status_.find(p);
+      if (it != own_status_.end() && it->second.s != PartStatus::S::kClosed) {
+        ++open;
+      }
+    }
+    out.more_work = open > 0;
+    const uint32_t limit = StealGrantLimit(req.steal_half, open);
+    const size_t n = own_partitions_.size();
+    for (size_t i = 0; i < n && out.granted.size() < limit; ++i) {
+      const PartitionId p = own_partitions_[(grant_cursor_ + i) % n];
+      if (!StealDecision(p, req.phase)) {
+        continue;
+      }
+      PartStatus& st = own_status_[p];
+      ++st.workers;
+      if (st.s == PartStatus::S::kPending) {
+        st.s = PartStatus::S::kActive;
+      }
+      if (req.phase == EnginePhase::kGather) {
+        st.gather_stealers.push_back(m.src);
+      }
+      out.granted.push_back(p);
+    }
+    if (!out.granted.empty()) {
+      ++metrics_->proposals_accepted;
+      metrics_->partitions_granted += out.granted.size();
+      grant_cursor_ = (grant_cursor_ + 1) % n;
+    }
+  }
+  const uint64_t wire = kControlMsgBytes + 4ull * out.granted.size();
+  ctx_.bus->PostReply(m, kHelpProposalResp, wire, std::move(out));
 }
 
 Task<> EngineCore::HandleAccumPull(Message m) {

@@ -16,6 +16,7 @@
 #include "core/gas.h"
 #include "core/partition.h"
 #include "core/program_kernel.h"
+#include "core/update_chunk_view.h"
 #include "graph/types.h"
 
 namespace chaos {
@@ -45,6 +46,8 @@ class GasKernel final : public ProgramKernel {
   uint64_t accum_bytes() const override { return sizeof(A); }
   uint64_t update_stride_bytes() const override { return sizeof(Rec); }
   uint64_t update_wire_bytes() const override { return update_wire_; }
+  uint64_t update_value_bytes() const override { return sizeof(U); }
+  bool update_soa_capable() const override { return alignof(U) <= 8; }
   uint64_t global_wire_bytes() const override { return sizeof(G); }
 
   // ---- Aggregator state.
@@ -107,8 +110,7 @@ class GasKernel final : public ProgramKernel {
                     RecordBinner* binner) override {
     auto states = vstate.template Span<const VState>();
     auto emit = [&](VertexId dst, const U& value) {
-      const Rec rec{dst, value};
-      binner->Add(parts_->PartitionOf(dst), rec);
+      binner->AddUpdate(parts_->PartitionOf(dst), dst, value);
     };
     const EdgeChunkView view(edges);
     if (view.soa()) {
@@ -138,9 +140,25 @@ class GasKernel final : public ProgramKernel {
     auto states = vstate.template Span<const VState>();
     auto acc = accums->template Span<A>();
     auto emit = [&](VertexId dst, const U& value) {
-      const Rec rec{dst, value};
-      binner->Add(parts_->PartitionOf(dst), rec);
+      binner->AddUpdate(parts_->PartitionOf(dst), dst, value);
     };
+    const UpdateChunkView view(updates, sizeof(U));
+    if (view.soa()) {
+      if constexpr (alignof(U) <= 8) {
+        // SoA fast path (core/update_chunk_view.h): the dst and value
+        // arrays stream sequentially — accumulator indexing and value loads
+        // vectorize instead of striding over padded UpdateRecord structs.
+        const VertexId* __restrict dst = view.dst();
+        const U* __restrict value = view.template values_as<U>();
+        const uint32_t n = view.size();
+        for (uint32_t i = 0; i < n; ++i) {
+          CHAOS_DCHECK(dst[i] - base < acc.size());
+          prog_->Gather(global_, dst[i], states[dst[i] - base],
+                        acc[dst[i] - base], value[i], emit);
+        }
+        return;
+      }
+    }
     for (const Rec& r : ChunkSpan<Rec>(updates)) {
       CHAOS_DCHECK(r.dst - base < acc.size());
       prog_->Gather(global_, r.dst, states[r.dst - base], acc[r.dst - base], r.value, emit);
@@ -161,8 +179,7 @@ class GasKernel final : public ProgramKernel {
     auto states = vstate->template Span<VState>();
     auto acc = accums.template Span<const A>();
     auto emit = [&](VertexId dst, const U& value) {
-      const Rec rec{dst, value};
-      binner->Add(parts_->PartitionOf(dst), rec);
+      binner->AddUpdate(parts_->PartitionOf(dst), dst, value);
     };
     auto sink = [&](const Out& out) { outputs_.push_back(out); };
     uint64_t changed = 0;

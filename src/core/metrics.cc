@@ -189,6 +189,30 @@ uint64_t RunMetrics::StolenChunks() const {
   return total;
 }
 
+uint64_t RunMetrics::UpdateWireBytesSaved() const {
+  uint64_t total = 0;
+  for (const MachineMetrics& m : machines) {
+    total += m.update_wire_bytes_saved;
+  }
+  return total;
+}
+
+uint64_t RunMetrics::UpdateChunksPacked() const {
+  uint64_t total = 0;
+  for (const MachineMetrics& m : machines) {
+    total += m.update_chunks_packed;
+  }
+  return total;
+}
+
+uint64_t RunMetrics::StealProposalsCombined() const {
+  uint64_t total = 0;
+  for (const MachineMetrics& m : machines) {
+    total += m.steal_proposals_combined;
+  }
+  return total;
+}
+
 double RunMetrics::VictimMissRate() const {
   const uint64_t sent = StealProposalsSent();
   if (sent == 0) {
@@ -260,6 +284,14 @@ std::string RunMetrics::Summary() const {
                   static_cast<unsigned long long>(StolenChunks()),
                   static_cast<unsigned long long>(StealBackoffs()),
                   100.0 * VictimMissRate());
+    out += line;
+  }
+  if (UpdateChunksPacked() > 0 || StealProposalsCombined() > 0) {
+    std::snprintf(line, sizeof(line),
+                  "  combine: packed_chunks=%llu wire_saved=%s proposals_merged=%llu\n",
+                  static_cast<unsigned long long>(UpdateChunksPacked()),
+                  FormatBytes(UpdateWireBytesSaved()).c_str(),
+                  static_cast<unsigned long long>(StealProposalsCombined()));
     out += line;
   }
   if (!mutation_epochs.empty()) {

@@ -49,6 +49,10 @@ struct MachineMetrics {
   TimeNs steal_backoff_time = 0;    // as helper: sim time parked in backoff
   uint64_t partitions_granted = 0;  // as master: partitions handed to helpers
   uint64_t stolen_chunks = 0;       // as helper: chunks streamed on stolen partitions
+  // Update-plane combining (config wire_combine / steal_combine).
+  uint64_t update_wire_bytes_saved = 0;  // verbatim - packed, outbound updates
+  uint64_t update_chunks_packed = 0;     // outbound update chunks re-encoded
+  uint64_t steal_proposals_combined = 0; // as victim: MessageTime charges merged away
 
   TimeNs bucket(Bucket b) const { return buckets[static_cast<size_t>(b)]; }
   void Add(Bucket b, TimeNs t) { buckets[static_cast<size_t>(b)] += t; }
@@ -157,6 +161,10 @@ struct RunMetrics {
   uint64_t StealBackoffs() const;
   uint64_t PartitionsGranted() const;
   uint64_t StolenChunks() const;
+  // Update-plane combining aggregates over machines.
+  uint64_t UpdateWireBytesSaved() const;
+  uint64_t UpdateChunksPacked() const;
+  uint64_t StealProposalsCombined() const;
   // Fraction of proposals that hit a victim with no open work.
   double VictimMissRate() const;
   // Evolving-graph aggregates over mutation_epochs.

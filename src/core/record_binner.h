@@ -12,19 +12,24 @@
 // becomes the payload. In kEdgeSoA mode records are written straight into
 // the SoA region layout (core/edge_chunk_view.h), so each record is stored
 // exactly once — there is no transpose pass re-reading a by-then-cold fill
-// block on park. Only tail chunks (FlushAll with a part-filled block) pay a
-// compaction copy, because SoA region offsets depend on the record count.
+// block on park. kUpdateSoA does the same for update records
+// (core/update_chunk_view.h): AddUpdate<U>() splits each emission into the
+// dst and value regions in place, parameterized by the program's value
+// width at construction. Only tail chunks (FlushAll with a part-filled
+// block) pay a compaction copy, because SoA region offsets depend on the
+// record count.
 //
-// The kEdgeSoA path additionally uses software write-combining: records
-// are staged 16-at-a-time in a small L1-resident per-partition buffer and
-// flushed to the fill block's SoA regions with non-temporal stores, as six
-// whole cache lines per flush. Fill blocks total partitions × chunk_bytes
-// — far beyond L2 — so plain stores would pay a read-for-ownership miss
-// per line (doubling DRAM traffic) and evict the caller's working set;
-// streaming stores do neither. The NT path needs records_per_chunk to be a
-// multiple of the staging quantum (keeps every flush 16-byte aligned and
-// park boundaries on flush boundaries) and falls back to plain in-place
-// stores otherwise, or when SSE2 is unavailable.
+// Both SoA paths additionally use software write-combining: records are
+// staged 16-at-a-time in a small L1-resident per-partition buffer and
+// flushed to the fill block's SoA regions with non-temporal stores, as
+// whole cache lines per flush (six for edges; 128 B of dsts plus
+// 16 * value_bytes of values for updates). Fill blocks total partitions ×
+// chunk_bytes — far beyond L2 — so plain stores would pay a
+// read-for-ownership miss per line (doubling DRAM traffic) and evict the
+// caller's working set; streaming stores do neither. The NT path needs
+// records_per_chunk to be a multiple of the staging quantum (keeps every
+// flush 16-byte aligned and park boundaries on flush boundaries) and falls
+// back to plain in-place stores otherwise, or when SSE2 is unavailable.
 //
 // Add() is synchronous; parked chunks are flushed by the owning coroutine
 // between chunks (FlushPending / FlushAll).
@@ -46,6 +51,7 @@
 
 #include "core/chunk_io.h"
 #include "core/edge_chunk_view.h"
+#include "core/gas.h"
 #include "core/partition.h"
 #include "core/record_arena.h"
 #include "storage/chunk.h"
@@ -86,37 +92,76 @@ class RecordBinner {
  public:
   // How parked chunks are laid out. kRaw fills the block AoS; kEdgeSoA
   // (edge sets only, stride == sizeof(Edge)) fills it in the
-  // ChunkLayout::kEdgeSoA region layout for the vectorized scatter loop.
-  // Either way the full block parks as the chunk payload without a copy.
-  enum class Format : uint8_t { kRaw = 0, kEdgeSoA = 1 };
+  // ChunkLayout::kEdgeSoA region layout for the vectorized scatter loop;
+  // kUpdateSoA (update sets, stride == sizeof(UpdateRecord<U>)) fills the
+  // ChunkLayout::kUpdateSoA dst/value regions via AddUpdate<U>(). Either
+  // way the full block parks as the chunk payload without a copy.
+  enum class Format : uint8_t { kRaw = 0, kEdgeSoA = 1, kUpdateSoA = 2 };
 
   // `record_stride_bytes` is the in-memory record width (sizeof(RecT));
   // `record_wire_bytes` the modeled on-disk/wire width the paper charges.
   // `arena` is the owning engine's arena; null falls back to a private one
-  // (host-side and test callers).
+  // (host-side and test callers). `update_value_bytes` is sizeof(U) for
+  // Format::kUpdateSoA (the packed value-region stride) and ignored
+  // otherwise.
   RecordBinner(const Partitioning* parts, uint64_t record_stride_bytes,
                uint64_t record_wire_bytes, uint64_t chunk_bytes,
-               RecordArena* arena = nullptr, Format format = Format::kRaw)
+               RecordArena* arena = nullptr, Format format = Format::kRaw,
+               uint64_t update_value_bytes = 0)
       : parts_(parts),
         stride_(record_stride_bytes),
         record_wire_(record_wire_bytes),
+        value_bytes_(update_value_bytes),
         records_per_chunk_(RecordsPerChunk(chunk_bytes, record_wire_bytes)),
         fill_bytes_(records_per_chunk_ * record_stride_bytes),
         format_(format),
-        cursor_stride_(format == Format::kEdgeSoA ? sizeof(VertexId)
-                                                  : record_stride_bytes),
+        cursor_stride_(format == Format::kRaw ? record_stride_bytes
+                                              : sizeof(VertexId)),
         soa_dst_off_(8ull * records_per_chunk_),
         soa_weight_off_(16ull * records_per_chunk_),
         soa_flags_off_(20ull * records_per_chunk_),
+        soa_value_off_(8ull * records_per_chunk_),
         wc_enabled_(CHAOS_BINNER_HAS_NT_STORES && format == Format::kEdgeSoA &&
                     records_per_chunk_ % kWcStage == 0),
+        uwc_enabled_(CHAOS_BINNER_HAS_NT_STORES &&
+                     format == Format::kUpdateSoA &&
+                     records_per_chunk_ % kWcStage == 0),
         bins_(parts->num_partitions()) {
     CHAOS_CHECK_GT(stride_, 0u);
     if (format_ == Format::kEdgeSoA) {
       CHAOS_CHECK_EQ(stride_, sizeof(Edge));
     }
+    if (format_ == Format::kUpdateSoA) {
+      // The AoS record is at least as wide as the packed pair (alignment
+      // padding only grows it), so fill blocks sized for AoS hold the SoA
+      // regions too.
+      CHAOS_CHECK_GT(value_bytes_, 0u);
+      CHAOS_CHECK_GE(stride_, sizeof(VertexId) + value_bytes_);
+    }
     if (wc_enabled_) {
       stage_ = std::make_unique<WcStage[]>(bins_.size());
+    }
+    if (uwc_enabled_) {
+      // Update staging is runtime-sized (value width is a program property),
+      // so it lives in one 64-byte-aligned slab: per partition, kWcStage
+      // dsts then kWcStage packed values, the slot rounded up to keep every
+      // partition's dst block 16-byte aligned for the streaming loads.
+      ustage_stride_ = (kUwcDstBytes + kWcStage * value_bytes_ +
+                        (RecordArena::kAlign - 1)) &
+                       ~static_cast<uint64_t>(RecordArena::kAlign - 1);
+      const uint64_t total = ustage_stride_ * bins_.size();
+      ustage_.reset(static_cast<uint8_t*>(
+          ::operator new(total, std::align_val_t{RecordArena::kAlign})));
+      std::memset(ustage_.get(), 0, total);
+      // Per-record path helpers: precomputed slot pointers (no
+      // multiply on the store-address chain) and byte-wide counts (the
+      // whole partition set's counts share one or two cache lines).
+      ustage_slot_ = std::make_unique<uint8_t*[]>(bins_.size());
+      for (size_t p = 0; p < bins_.size(); ++p) {
+        ustage_slot_[p] = ustage_.get() + p * ustage_stride_;
+      }
+      ustage_count_ = std::make_unique<uint8_t[]>(bins_.size());
+      std::memset(ustage_count_.get(), 0, bins_.size());
     }
     if (arena == nullptr) {
       own_arena_ = std::make_unique<RecordArena>();
@@ -195,6 +240,53 @@ class RecordBinner {
     }
   }
 
+  // Update-record hot path: the kernels' emit lambdas call this instead of
+  // materializing an UpdateRecord<U>, so the kUpdateSoA fill stores dst and
+  // value straight into their regions (no padded AoS temp). Over-aligned
+  // values (alignof > 8) cannot use the packed layout — the engine
+  // constructs such binners as kRaw and this degrades to Add().
+  template <typename U>
+  void AddUpdate(PartitionId p, VertexId dst, const U& value) {
+    static_assert(std::is_trivially_copyable_v<U>, "binned records must be POD");
+    if constexpr (alignof(U) <= 8) {
+      if (format_ == Format::kUpdateSoA) {
+        CHAOS_DCHECK(sizeof(U) == value_bytes_);
+        if (uwc_enabled_) {
+          // Write-combining path, mirroring the edge staging: per-record
+          // stores land in the partition's L1-resident slot; every 16th
+          // record streams whole lines into the fill block.
+          uint8_t* const slot = ustage_slot_[p];
+          const uint32_t s = ustage_count_[p];
+          reinterpret_cast<VertexId*>(slot)[s] = dst;
+          *reinterpret_cast<U*>(slot + kUwcDstBytes + s * sizeof(U)) = value;
+          ustage_count_[p] = static_cast<uint8_t>(s + 1);
+          if (s + 1 == kWcStage) {
+            FlushUpdateStage(p);
+          }
+          return;
+        }
+        Bin& bin = bins_[p];
+        if (bin.cursor == bin.end) {
+          LeaseBin(&bin);
+        }
+        // The cursor walks the 8-byte dst region; the value slot sits in
+        // the packed region at the same record index.
+        uint8_t* const cur = bin.cursor;
+        uint8_t* const base = bin.end - soa_value_off_;
+        const auto idx = static_cast<uint64_t>(cur - base) >> 3;
+        *reinterpret_cast<VertexId*>(cur) = dst;
+        *reinterpret_cast<U*>(base + soa_value_off_ + idx * sizeof(U)) = value;
+        bin.cursor = cur + sizeof(VertexId);
+        if (bin.cursor == bin.end) {
+          Park(p);
+        }
+        return;
+      }
+    }
+    const UpdateRecord<U> rec{dst, value};
+    Add(p, rec);
+  }
+
   bool HasPending() const { return pending_head_ < pending_.size(); }
 
   // Records accepted so far: everything parked plus the partial fills. The
@@ -209,6 +301,11 @@ class RecordBinner {
     if (wc_enabled_) {
       for (size_t p = 0; p < bins_.size(); ++p) {
         staged += stage_[p].count;
+      }
+    }
+    if (uwc_enabled_) {
+      for (size_t p = 0; p < bins_.size(); ++p) {
+        staged += ustage_count_[p];
       }
     }
     return parked_records_ + filling / cursor_stride_ + staged;
@@ -295,6 +392,9 @@ class RecordBinner {
       if (wc_enabled_) {
         DrainStagePlain(p);  // staged records become part of the tail fill
       }
+      if (uwc_enabled_) {
+        DrainUpdateStagePlain(p);
+      }
       if (bins_[p].cursor != bins_[p].block.data()) {  // partial fill
         Park(p);
       }
@@ -369,10 +469,75 @@ class RecordBinner {
     st.count = 0;
   }
 
+  // Flushes a full update staging slot to the partition's fill block with
+  // non-temporal stores: two cache lines of dsts plus kWcStage packed
+  // values (16 * value_bytes, always a 16-byte multiple). Alignment mirrors
+  // the edge path: the block base is 64-byte aligned, flushes advance in
+  // kWcStage-record quanta, and the value-region offset is a multiple of
+  // 8 * records_per_chunk_ with records_per_chunk_ % kWcStage == 0.
+  void FlushUpdateStage(PartitionId p) {
+#if CHAOS_BINNER_HAS_NT_STORES
+    Bin& bin = bins_[p];
+    if (bin.cursor == bin.end) {
+      LeaseBin(&bin);
+    }
+    const uint8_t* const slot = ustage_slot_[p];
+    uint8_t* const cur = bin.cursor;
+    uint8_t* const base = bin.end - soa_value_off_;  // == block start
+    const auto idx = static_cast<uint64_t>(cur - base) >> 3;
+    const auto* s_dst = reinterpret_cast<const __m128i*>(slot);
+    auto* d_dst = reinterpret_cast<__m128i*>(cur);
+    for (uint32_t k = 0; k < kWcStage / 2; ++k) {
+      _mm_stream_si128(d_dst + k, _mm_load_si128(s_dst + k));
+    }
+    const auto* s_val = reinterpret_cast<const __m128i*>(slot + kUwcDstBytes);
+    auto* d_val =
+        reinterpret_cast<__m128i*>(base + soa_value_off_ + idx * value_bytes_);
+    const auto val_vecs = static_cast<uint32_t>(kWcStage * value_bytes_ / 16);
+    for (uint32_t k = 0; k < val_vecs; ++k) {
+      _mm_stream_si128(d_val + k, _mm_load_si128(s_val + k));
+    }
+    ustage_count_[p] = 0;
+    bin.cursor = cur + kWcStage * sizeof(VertexId);
+    if (bin.cursor == bin.end) {
+      Park(p);
+    }
+#else
+    (void)p;
+#endif
+  }
+
+  // Writes a part-filled update staging slot into the fill block with plain
+  // stores (tail records at FlushAll time — cold path).
+  void DrainUpdateStagePlain(PartitionId p) {
+    const uint32_t n = ustage_count_[p];
+    if (n == 0) {
+      return;
+    }
+    Bin& bin = bins_[p];
+    if (bin.cursor == bin.end) {
+      LeaseBin(&bin);
+    }
+    const uint8_t* const slot = ustage_slot_[p];
+    const auto* s_dst = reinterpret_cast<const VertexId*>(slot);
+    const uint8_t* const s_val = slot + kUwcDstBytes;
+    uint8_t* const base = bin.end - soa_value_off_;
+    for (uint32_t i = 0; i < n; ++i) {
+      uint8_t* const cur = bin.cursor;
+      const auto idx = static_cast<uint64_t>(cur - base) >> 3;
+      *reinterpret_cast<VertexId*>(cur) = s_dst[i];
+      std::memcpy(base + soa_value_off_ + idx * value_bytes_,
+                  s_val + i * value_bytes_, value_bytes_);
+      bin.cursor = cur + sizeof(VertexId);
+    }
+    CHAOS_DCHECK(bin.cursor < bin.end);
+    ustage_count_[p] = 0;
+  }
+
   // Finishes the partition's fill block as a pending chunk.
   void Park(PartitionId p) {
 #if CHAOS_BINNER_HAS_NT_STORES
-    if (wc_enabled_) {
+    if (wc_enabled_ || uwc_enabled_) {
       // Drain the write-combining buffers before the payload is published:
       // NT stores are weakly ordered, and the chunk may be consumed on
       // another thread.
@@ -401,6 +566,19 @@ class RecordBinner {
         CompactSoaTail(bin.block.data(), count, payload.get());
         chunk.data = std::shared_ptr<const void>(payload, payload.get());
       }
+    } else if (format_ == Format::kUpdateSoA) {
+      chunk.layout = ChunkLayout::kUpdateSoA;
+      // Packed payload: no AoS padding between dst and value, so the
+      // in-memory footprint is count * (8 + value_bytes), not count *
+      // sizeof(UpdateRecord<U>).
+      chunk.payload_bytes = count * (sizeof(VertexId) + value_bytes_);
+      if (count == records_per_chunk_) {
+        chunk.data = std::move(bin.block).ToShared();
+      } else {
+        std::shared_ptr<uint8_t> payload = arena_->LeaseShared(chunk.payload_bytes);
+        CompactUpdateSoaTail(bin.block.data(), count, payload.get());
+        chunk.data = std::shared_ptr<const void>(payload, payload.get());
+      }
     } else {
       // The fill block itself becomes the (immutable) chunk payload; a
       // fresh block is leased on the partition's next Add.
@@ -419,26 +597,57 @@ class RecordBinner {
     std::memcpy(out + 20ull * count, block + soa_flags_off_, 4ull * count);
   }
 
+  // kUpdateSoA analogue: two regions, dsts then packed values.
+  void CompactUpdateSoaTail(const uint8_t* block, uint32_t count,
+                            uint8_t* out) const {
+    std::memcpy(out, block, 8ull * count);
+    std::memcpy(out + 8ull * count, block + soa_value_off_,
+                value_bytes_ * count);
+  }
+
+  struct AlignedSlabDelete {
+    void operator()(uint8_t* p) const {
+      ::operator delete(p, std::align_val_t{RecordArena::kAlign});
+    }
+  };
+
   const Partitioning* parts_;
   uint64_t stride_;
   uint64_t record_wire_;
+  // sizeof(U) for kUpdateSoA (packed value-region stride); 0 otherwise.
+  uint64_t value_bytes_;
   uint64_t records_per_chunk_;
   uint64_t fill_bytes_;
   Format format_;
   // Bytes the bin cursor advances per record: stride_ for kRaw (AoS fill),
-  // sizeof(VertexId) for kEdgeSoA (the cursor walks the src region).
+  // sizeof(VertexId) for the SoA formats (the cursor walks the 8-byte
+  // src/dst region).
   uint64_t cursor_stride_;
-  // kEdgeSoA region offsets within a full fill block (capacity-based).
+  // SoA region offsets within a full fill block (capacity-based).
   uint64_t soa_dst_off_;
   uint64_t soa_weight_off_;
   uint64_t soa_flags_off_;
-  // True when the kEdgeSoA fill runs through the write-combining staging
-  // path (SSE2 present and records_per_chunk_ a staging-quantum multiple).
+  uint64_t soa_value_off_;  // kUpdateSoA value region (== 8 * capacity)
+  // True when the kEdgeSoA / kUpdateSoA fill runs through the respective
+  // write-combining staging path (SSE2 present and records_per_chunk_ a
+  // staging-quantum multiple).
   bool wc_enabled_;
+  bool uwc_enabled_;
   RecordArena* arena_ = nullptr;
   std::unique_ptr<RecordArena> own_arena_;
   std::vector<Bin> bins_;
   std::unique_ptr<WcStage[]> stage_;  // one per partition; null unless wc_enabled_
+  // Update staging slab (uwc_enabled_ only): bins_.size() slots of
+  // ustage_stride_ bytes, each kWcStage dsts followed by kWcStage packed
+  // values; fill counts live separately so slots stay store-only.
+  // ustage_slot_ caches each partition's slot address (keeps the
+  // per-record store-address chain multiply-free) and the byte-wide
+  // counts pack the whole partition set into one or two cache lines.
+  static constexpr uint64_t kUwcDstBytes = kWcStage * sizeof(VertexId);
+  uint64_t ustage_stride_ = 0;
+  std::unique_ptr<uint8_t, AlignedSlabDelete> ustage_;
+  std::unique_ptr<uint8_t*[]> ustage_slot_;
+  std::unique_ptr<uint8_t[]> ustage_count_;
   // Drained front-to-back by FlushPending; vector + head cursor instead of
   // a deque so steady-state parking reuses capacity.
   std::vector<std::pair<PartitionId, Chunk>> pending_;

@@ -1,0 +1,168 @@
+// SoA update-chunk layout + a reader that spans both layouts.
+//
+// Update sets (kUpdatesEven/kUpdatesOdd) are the other half of the hot
+// streaming path: every gather superstep reads every update chunk, and the
+// scatter/gather emit loops write every record through RecordBinner. Stored
+// AoS, each UpdateRecord<U> strides sizeof(UpdateRecord<U>) — 16 bytes for
+// a 4-byte value because of alignment padding — and the gather loop cannot
+// vectorize across the struct. ChunkLayout::kUpdateSoA instead packs two
+// regions into one payload (model_bytes — the simulated footprint — is
+// unchanged, so results stay bitwise identical):
+//
+//   offset 0            : VertexId dst[count]
+//   offset 8 * count    : U        value[count]   (packed at sizeof(U))
+//
+// payload_bytes == count * (8 + sizeof(U)) — for 4-byte values that is 12
+// bytes per record instead of 16, a smaller resident footprint on top of
+// the vectorizable layout. The value region starts at a multiple of 8, so
+// it is naturally aligned for any U with alignof(U) <= 8 given an
+// 8-byte-or-better base (arena payloads guarantee 64; core/record_arena.h).
+// Programs whose update value is over-aligned (alignof > 8) stay on kAoS —
+// GasKernel gates the layout on update_soa_capable().
+//
+// Unlike edges — whose record type the untyped engine core knows — update
+// values are program-defined, so the view is untemplated and parameterized
+// by the value width; typed readers (the kernels) reinterpret the packed
+// value region, cold paths materialize records via At<U>().
+#ifndef CHAOS_CORE_UPDATE_CHUNK_VIEW_H_
+#define CHAOS_CORE_UPDATE_CHUNK_VIEW_H_
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "core/gas.h"
+#include "core/record_arena.h"
+#include "graph/types.h"
+#include "storage/chunk.h"
+#include "util/common.h"
+
+namespace chaos {
+
+// Transposes `n` AoS update records into the SoA payload layout above.
+// `out` must hold (8 + sizeof(U)) * n bytes and be at least 8-byte aligned.
+template <typename U>
+inline void TransposeUpdatesToSoa(const UpdateRecord<U>* aos, uint32_t n,
+                                  uint8_t* out) {
+  static_assert(alignof(U) <= 8, "kUpdateSoA requires alignof(value) <= 8");
+  CHAOS_DCHECK(reinterpret_cast<uintptr_t>(out) % alignof(VertexId) == 0);
+  auto* dst = reinterpret_cast<VertexId*>(out);
+  auto* value = reinterpret_cast<U*>(out + 8ull * n);
+  for (uint32_t i = 0; i < n; ++i) {
+    dst[i] = aos[i].dst;
+    value[i] = aos[i].value;
+  }
+}
+
+// Builds a kUpdateSoA chunk from a host-side record vector. `arena` may be
+// null (host-side callers without an engine); the payload is then a
+// directly allocated aligned block.
+template <typename U>
+inline Chunk MakeSoaUpdateChunk(uint64_t index, uint64_t model_bytes,
+                                const std::vector<UpdateRecord<U>>& records,
+                                RecordArena* arena) {
+  Chunk c;
+  c.index = index;
+  c.model_bytes = model_bytes;
+  c.count = static_cast<uint32_t>(records.size());
+  c.payload_bytes = records.size() * (8ull + sizeof(U));
+  c.layout = ChunkLayout::kUpdateSoA;
+  if (!records.empty()) {
+    std::shared_ptr<uint8_t> payload;
+    if (arena != nullptr) {
+      payload = arena->LeaseShared(c.payload_bytes);
+    } else {
+      payload = std::shared_ptr<uint8_t>(
+          static_cast<uint8_t*>(::operator new(c.payload_bytes,
+                                               std::align_val_t{RecordArena::kAlign})),
+          [](uint8_t* p) { ::operator delete(p, std::align_val_t{RecordArena::kAlign}); });
+    }
+    TransposeUpdatesToSoa(records.data(), c.count, payload.get());
+    c.data = std::shared_ptr<const void>(payload, payload.get());
+  }
+  return c;
+}
+
+// Zero-copy reader over an update chunk of either layout. Hot loops branch
+// once on soa() and then run a layout-specific inner loop over raw arrays;
+// layout-agnostic readers (re-binning, wire packing) use DstAt/At.
+// `value_bytes` is sizeof(U) for the owning program's update value.
+class UpdateChunkView {
+ public:
+  UpdateChunkView(const Chunk& c, uint64_t value_bytes)
+      : count_(c.count), value_bytes_(value_bytes) {
+    if (count_ == 0) {
+      return;
+    }
+    CHAOS_CHECK(c.data != nullptr);
+    base_ = static_cast<const uint8_t*>(c.data.get());
+    if (c.layout == ChunkLayout::kUpdateSoA) {
+      CHAOS_DCHECK(c.payload_bytes == count_ * (8ull + value_bytes_));
+      dst_ = reinterpret_cast<const VertexId*>(base_);
+      values_ = base_ + 8ull * count_;
+    } else {
+      CHAOS_DCHECK(c.layout == ChunkLayout::kAoS);
+      stride_ = c.payload_bytes / count_;
+      CHAOS_DCHECK(stride_ * count_ == c.payload_bytes);
+    }
+  }
+
+  uint32_t size() const { return count_; }
+  bool soa() const { return dst_ != nullptr; }
+
+  // SoA arrays (valid when soa()). values() is the packed value region;
+  // typed readers cast it with values_as<U>().
+  const VertexId* dst() const { return dst_; }
+  const uint8_t* values() const { return values_; }
+  template <typename U>
+  const U* values_as() const {
+    static_assert(alignof(U) <= 8, "kUpdateSoA requires alignof(value) <= 8");
+    CHAOS_DCHECK(sizeof(U) == value_bytes_);
+    return reinterpret_cast<const U*>(values_);
+  }
+
+  // AoS array (valid when !soa()).
+  template <typename U>
+  const UpdateRecord<U>* aos() const {
+    CHAOS_DCHECK(!soa());
+    CHAOS_DCHECK(count_ == 0 || stride_ == sizeof(UpdateRecord<U>));
+    return reinterpret_cast<const UpdateRecord<U>*>(base_);
+  }
+
+  // Layout-independent destination id (wire packing, untyped audits).
+  VertexId DstAt(uint32_t i) const {
+    CHAOS_DCHECK(i < count_);
+    if (soa()) {
+      return dst_[i];
+    }
+    VertexId d;
+    std::memcpy(&d, base_ + i * stride_, sizeof(VertexId));
+    return d;
+  }
+
+  // Layout-independent materialization of one record (cold paths / tests).
+  template <typename U>
+  UpdateRecord<U> At(uint32_t i) const {
+    CHAOS_DCHECK(i < count_);
+    if (soa()) {
+      UpdateRecord<U> r;
+      r.dst = dst_[i];
+      std::memcpy(&r.value, values_ + i * sizeof(U), sizeof(U));
+      return r;
+    }
+    return aos<U>()[i];
+  }
+
+ private:
+  uint32_t count_ = 0;
+  uint64_t value_bytes_ = 0;
+  uint64_t stride_ = 0;  // AoS record stride (payload_bytes / count)
+  const uint8_t* base_ = nullptr;
+  const VertexId* dst_ = nullptr;
+  const uint8_t* values_ = nullptr;
+};
+
+}  // namespace chaos
+
+#endif  // CHAOS_CORE_UPDATE_CHUNK_VIEW_H_

@@ -90,12 +90,15 @@ std::string SetIdName(const SetId& id);
 // In-memory layout of a chunk payload. kAoS is the default: `count` records
 // of the set's record type back to back. kEdgeSoA is the vectorization
 // layout for edge sets: four packed arrays src[count] | dst[count] |
-// weight[count] | flags[count] (see core/edge_chunk_view.h). Layout is a
-// payload property — model_bytes (the simulated footprint) is identical for
-// both, so the simulation cannot observe the choice.
+// weight[count] | flags[count] (see core/edge_chunk_view.h). kUpdateSoA is
+// the analogous layout for update sets: dst[count] followed by the packed
+// update values (see core/update_chunk_view.h). Layout is a payload
+// property — model_bytes (the simulated footprint) is identical for every
+// layout, so the simulation cannot observe the choice.
 enum class ChunkLayout : uint8_t {
   kAoS = 0,
   kEdgeSoA = 1,
+  kUpdateSoA = 2,
 };
 
 struct Chunk {

@@ -12,6 +12,7 @@
 #include "core/edge_chunk_view.h"
 #include "core/record_arena.h"
 #include "core/record_binner.h"
+#include "core/update_chunk_view.h"
 #include "graph/generators.h"
 #include "graph/ref/reference.h"
 
@@ -328,6 +329,118 @@ TEST(EdgeChunkViewTest, AosChunksStillReadable) {
   }
 }
 
+// ------------------------------------------------- update chunk SoA layout
+
+std::vector<UpdateRecord<float>> TestUpdates(uint32_t n) {
+  std::vector<UpdateRecord<float>> updates;
+  updates.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    updates.push_back(UpdateRecord<float>{static_cast<VertexId>(i * 37 % 1024),
+                                          static_cast<float>(i) * 0.5f + 1.0f});
+  }
+  return updates;
+}
+
+TEST(UpdateChunkViewTest, SoaRoundTripsAndIsAligned) {
+  const auto updates = TestUpdates(129);  // odd count: no accidental padding luck
+  Chunk c = MakeSoaUpdateChunk<float>(/*index=*/0, /*model_bytes=*/updates.size() * 12,
+                                      updates, /*arena=*/nullptr);
+  EXPECT_EQ(c.layout, ChunkLayout::kUpdateSoA);
+  EXPECT_EQ(c.count, updates.size());
+  EXPECT_EQ(c.payload_bytes, updates.size() * (sizeof(VertexId) + sizeof(float)));
+  UpdateChunkView view(c, sizeof(float));
+  ASSERT_TRUE(view.soa());
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(view.dst()) % alignof(VertexId), 0u);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(view.values_as<float>()) % alignof(float), 0u);
+  for (uint32_t i = 0; i < view.size(); ++i) {
+    const UpdateRecord<float> r = view.At<float>(i);
+    EXPECT_EQ(r.dst, updates[i].dst);
+    EXPECT_EQ(r.value, updates[i].value);
+    EXPECT_EQ(view.DstAt(i), updates[i].dst);
+  }
+}
+
+TEST(UpdateChunkViewTest, BinnerParksSoaUpdateChunksThatRoundTrip) {
+  auto parts = Partitioning::Compute(1024, 2, 16, 4 << 10);
+  RecordArena arena;
+  // 12-byte wire updates, 768-byte chunks -> 64 updates per chunk (a
+  // multiple of the write-combining stage, so the NT-store path engages).
+  RecordBinner binner(&parts, sizeof(UpdateRecord<float>), /*record_wire_bytes=*/12,
+                      /*chunk_bytes=*/768, &arena, RecordBinner::Format::kUpdateSoA,
+                      /*update_value_bytes=*/sizeof(float));
+  const auto updates = TestUpdates(64);
+  for (const auto& u : updates) {
+    binner.AddUpdate(/*p=*/0, u.dst, u.value);
+  }
+  ASSERT_TRUE(binner.HasPending());
+  auto parked = binner.PopPendingForTest();
+  const Chunk& c = parked.second;
+  EXPECT_EQ(c.layout, ChunkLayout::kUpdateSoA);
+  EXPECT_EQ(c.count, 64u);
+  EXPECT_EQ(c.payload_bytes, 64u * (sizeof(VertexId) + sizeof(float)));
+  UpdateChunkView view(c, sizeof(float));
+  ASSERT_TRUE(view.soa());
+  for (uint32_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(view.dst()[i], updates[i].dst);
+    EXPECT_EQ(view.values_as<float>()[i], updates[i].value);
+  }
+}
+
+// Tail parks must fold in updates still sitting in the write-combining
+// staging slots: partition 0 gets two full 16-record flushes plus a staged
+// remainder, partition 1 only staged records.
+TEST(UpdateChunkViewTest, BinnerParksStagedUpdateTailsThatRoundTrip) {
+  auto parts = Partitioning::Compute(1024, 2, 16, 4 << 10);
+  RecordArena arena;
+  RecordBinner binner(&parts, sizeof(UpdateRecord<float>), /*record_wire_bytes=*/12,
+                      /*chunk_bytes=*/768, &arena, RecordBinner::Format::kUpdateSoA,
+                      /*update_value_bytes=*/sizeof(float));
+  const auto updates = TestUpdates(40);
+  for (uint32_t i = 0; i < 37; ++i) {
+    binner.AddUpdate(/*p=*/0, updates[i].dst, updates[i].value);
+  }
+  for (uint32_t i = 37; i < 40; ++i) {
+    binner.AddUpdate(/*p=*/1, updates[i].dst, updates[i].value);
+  }
+  EXPECT_EQ(binner.emitted(), 40u);
+  EXPECT_FALSE(binner.HasPending());  // nothing filled a chunk
+  binner.ParkAllForTest();
+  ASSERT_TRUE(binner.HasPending());
+  auto first = binner.PopPendingForTest();
+  ASSERT_TRUE(binner.HasPending());
+  auto second = binner.PopPendingForTest();
+  EXPECT_FALSE(binner.HasPending());
+  const Chunk& c0 = first.first == 0 ? first.second : second.second;
+  const Chunk& c1 = first.first == 0 ? second.second : first.second;
+  ASSERT_EQ(c0.count, 37u);
+  ASSERT_EQ(c1.count, 3u);
+  EXPECT_EQ(c0.layout, ChunkLayout::kUpdateSoA);
+  UpdateChunkView v0(c0, sizeof(float));
+  for (uint32_t i = 0; i < 37; ++i) {
+    EXPECT_EQ(v0.At<float>(i).dst, updates[i].dst);
+    EXPECT_EQ(v0.At<float>(i).value, updates[i].value);
+  }
+  UpdateChunkView v1(c1, sizeof(float));
+  for (uint32_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(v1.DstAt(i), updates[37 + i].dst);
+  }
+  EXPECT_EQ(binner.emitted(), 40u);  // parked records still counted
+}
+
+TEST(UpdateChunkViewTest, AosUpdateChunksStillReadable) {
+  const auto updates = TestUpdates(16);
+  Chunk c = MakeChunk<UpdateRecord<float>>(/*index=*/0, /*model_bytes=*/16 * 12, updates);
+  EXPECT_EQ(c.layout, ChunkLayout::kAoS);
+  UpdateChunkView view(c, sizeof(float));
+  EXPECT_FALSE(view.soa());
+  ASSERT_EQ(view.size(), 16u);
+  for (uint32_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(view.At<float>(i).dst, updates[i].dst);
+    EXPECT_EQ(view.At<float>(i).value, updates[i].value);
+    EXPECT_EQ(view.DstAt(i), updates[i].dst);
+  }
+}
+
 // --------------------------------------------------------------- clusters
 
 ClusterConfig SmallConfig(int machines) {
@@ -524,6 +637,35 @@ TEST(ClusterPropertyTest, ChunkSizeDoesNotChangeResults) {
           << "chunk=" << chunk << " vertex " << v;
     }
   }
+}
+
+// Update-plane combining is pure re-encoding (wire) plus control-message
+// merging (steal): the switches must not change any result, and a combined
+// run must move strictly fewer simulated NIC bytes — the packed frame is
+// only charged when smaller than the verbatim one. BFS keeps the answer
+// integer-valued, so "identical" is exact equality, not a tolerance.
+TEST(ClusterPropertyTest, CombiningKeepsResultsAndShrinksWire) {
+  InputGraph g = MakeUndirected(TestGraph(47));
+  auto run = [&](bool combine) {
+    ClusterConfig cfg = SmallConfig(4);
+    cfg.wire_combine = combine;
+    cfg.steal_combine = combine;
+    Cluster<BfsProgram> cluster(cfg, BfsProgram(0));
+    return cluster.Run(g);
+  };
+  const auto off = run(false);
+  const auto on = run(true);
+  ASSERT_EQ(off.values.size(), on.values.size());
+  for (size_t v = 0; v < off.values.size(); ++v) {
+    ASSERT_DOUBLE_EQ(on.values[v], off.values[v]) << "vertex " << v;
+  }
+  // Defaults-off run accrues no combining metrics (the pinned benchmarks
+  // depend on that); the combined run packs chunks and saves wire bytes.
+  EXPECT_EQ(off.metrics.UpdateChunksPacked(), 0u);
+  EXPECT_EQ(off.metrics.UpdateWireBytesSaved(), 0u);
+  EXPECT_GT(on.metrics.UpdateChunksPacked(), 0u);
+  EXPECT_GT(on.metrics.UpdateWireBytesSaved(), 0u);
+  EXPECT_LT(on.metrics.network_bytes, off.metrics.network_bytes);
 }
 
 TEST(ClusterMetricsTest, AccountingSane) {
